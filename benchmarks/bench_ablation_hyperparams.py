@@ -1,0 +1,83 @@
+"""Ablation: PRA hyperparameters (acceptable ratio lambda_A, initial quantile q).
+
+The paper fixes lambda_A = 4, q = 0.99, q_A = 0.95 for all experiments.
+This bench sweeps both knobs over the four Figure-3 tensors and verifies
+the paper's defaults sit at (or near) the MSE optimum, justifying the
+fixed setting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import FIGURE3_TENSORS, capture_figure3_tensors, format_table
+from repro.quant import PRAConfig, QUQQuantizer, mse
+
+from conftest import save_result
+
+BITS = 6
+LAMBDAS = (1.0, 2.0, 4.0, 8.0, 16.0)
+QUANTILES = (0.95, 0.97, 0.99, 0.999)
+
+
+@pytest.fixture(scope="module")
+def tensors(zoo, calib):
+    model, _ = zoo["vit_s"]
+    return capture_figure3_tensors(model, calib, block=1)
+
+
+def _mean_mse(tensors, config: PRAConfig) -> dict[str, float]:
+    out = {}
+    for name in FIGURE3_TENSORS:
+        data = tensors[name]
+        q = QUQQuantizer(BITS, config=config).fit(data)
+        out[name] = mse(data, q.fake_quantize(data))
+    return out
+
+
+def test_lambda_sweep(benchmark, tensors):
+    def sweep():
+        rows = []
+        for lam in LAMBDAS:
+            config = PRAConfig(acceptable_ratio=lam)
+            errors = _mean_mse(tensors, config)
+            rows.append([lam] + [errors[n] for n in FIGURE3_TENSORS])
+        return rows
+
+    rows = benchmark(sweep)
+    save_result(
+        "ablation_lambda",
+        format_table(
+            ["lambda_A"] + list(FIGURE3_TENSORS), rows,
+            title=f"Ablation: acceptable-ratio sweep ({BITS}-bit QUQ MSE)",
+        ),
+    )
+    # The paper's default (4) must be within 2x of the per-tensor optimum.
+    default_row = next(r for r in rows if r[0] == 4.0)
+    for column in range(1, len(FIGURE3_TENSORS) + 1):
+        best = min(r[column] for r in rows)
+        assert default_row[column] <= 2.0 * best + 1e-12
+
+
+def test_quantile_sweep(benchmark, tensors):
+    def sweep():
+        rows = []
+        for q in QUANTILES:
+            config = PRAConfig(initial_quantile=q, acceptable_quantile=min(0.95, q))
+            errors = _mean_mse(tensors, config)
+            rows.append([q] + [errors[n] for n in FIGURE3_TENSORS])
+        return rows
+
+    rows = benchmark(sweep)
+    save_result(
+        "ablation_quantile",
+        format_table(
+            ["initial q"] + list(FIGURE3_TENSORS), rows,
+            title=f"Ablation: initial-quantile sweep ({BITS}-bit QUQ MSE)",
+        ),
+    )
+    default_row = next(r for r in rows if r[0] == 0.99)
+    for column in range(1, len(FIGURE3_TENSORS) + 1):
+        best = min(r[column] for r in rows)
+        assert default_row[column] <= 3.0 * best + 1e-12

@@ -1,0 +1,63 @@
+"""Ablation: which QUQ modes the progressive relaxation actually selects.
+
+Not a paper table, but it substantiates Figure 4's premise: one mechanism
+(mode merging) adapts to the distribution diversity inside a single model.
+The bench calibrates a full-coverage QUQ pipeline and counts the selected
+mode per tap kind.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis import format_table
+from repro.quant import PTQPipeline, QUQQuantizer, TapKind, classify_tap
+
+from conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def pipeline(zoo, calib):
+    model, _ = zoo["vit_s"]
+    p = PTQPipeline(model, method="quq", bits=6, coverage="full")
+    p.calibrate(calib)
+    yield p
+    p.detach()
+
+
+def test_mode_usage_by_tap_kind(benchmark, pipeline):
+    def census():
+        counts: dict[TapKind, Counter] = {kind: Counter() for kind in TapKind}
+        for name, quantizer in pipeline.env.quantizers.items():
+            if isinstance(quantizer, QUQQuantizer):
+                counts[classify_tap(name)][quantizer.mode.value] += 1
+        return counts
+
+    counts = benchmark(census)
+    rows = [
+        [kind.value] + [counts[kind].get(m, 0) for m in "ABCD"]
+        for kind in TapKind
+    ]
+    save_result(
+        "ablation_modes",
+        format_table(
+            ["Tap kind", "Mode A", "Mode B", "Mode C", "Mode D"],
+            rows,
+            title="Ablation: QUQ mode selection across one fully quantized ViT",
+        ),
+    )
+
+    total = Counter()
+    for kind_counts in counts.values():
+        total.update(kind_counts)
+    # The mechanism is only meaningful if several modes are in active use.
+    assert len([m for m in "ABCD" if total.get(m, 0) > 0]) >= 3
+    # Post-softmax taps are non-negative -> Mode B everywhere.
+    probs_modes = {
+        q.mode.value
+        for n, q in pipeline.env.quantizers.items()
+        if n.endswith(".probs") and isinstance(q, QUQQuantizer)
+    }
+    assert probs_modes == {"B"}

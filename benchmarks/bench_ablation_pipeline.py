@@ -1,0 +1,90 @@
+"""Ablation: contribution of the Hessian-weighted grid search, and the
+storage cost (bits per element) of each quantization scheme.
+
+The paper's protocol always includes the PTQ4ViT-style grid search; this
+bench quantifies what it buys at the substrate's 4-bit stress point, and
+backs the Section 5 argument that row-wise (FQ-ViT) and index-table
+(BiScaled) schemes carry hidden storage overhead that QUQ avoids (QUQ's
+side information is two FC registers plus one base delta per tensor).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.quant import PTQPipeline, hessian_refine
+from repro.training import evaluate_top1
+
+from conftest import save_result
+
+STRESS_BITS = 4
+
+
+@pytest.fixture(scope="module")
+def search_rows(zoo, calib, val_subset):
+    model, _ = zoo["vit_s"]
+    rows = []
+    for method in ("baseq", "quq"):
+        for refine in ("none", "mse", "hessian"):
+            pipeline = PTQPipeline(model, method=method, bits=STRESS_BITS, coverage="full")
+            pipeline.calibrate(calib)
+            if refine != "none":
+                hessian_refine(pipeline, calib, weighted=refine == "hessian")
+            accuracy = evaluate_top1(model, val_subset)
+            pipeline.detach()
+            rows.append([method, refine, round(accuracy, 2)])
+    return rows
+
+
+def test_grid_search_contribution(benchmark, search_rows, zoo, calib, val_subset):
+    save_result(
+        "ablation_grid_search",
+        format_table(
+            ["Method", "Scale search", f"Top-1 @ {STRESS_BITS}-bit full"],
+            search_rows,
+            title="Ablation: scale-search variants at the stress bit-width",
+        ),
+    )
+    by_key = {(r[0], r[1]): r[2] for r in search_rows}
+    # The search must not hurt, and the Hessian weighting must keep QUQ
+    # at least level with the unweighted search.
+    for method in ("baseq", "quq"):
+        assert by_key[(method, "hessian")] >= by_key[(method, "none")] - 2.0
+
+    model, _ = zoo["vit_s"]
+
+    def refine_once():
+        pipeline = PTQPipeline(model, method="quq", bits=STRESS_BITS, coverage="full")
+        pipeline.calibrate(calib)
+        hessian_refine(pipeline, calib)
+        pipeline.detach()
+
+    benchmark(refine_once)
+
+
+def test_bits_per_element_accounting(benchmark, zoo, calib):
+    model, _ = zoo["vit_s"]
+
+    def census():
+        rows = []
+        for method in ("baseq", "quq", "biscaled", "fqvit"):
+            pipeline = PTQPipeline(model, method=method, bits=6, coverage="full")
+            pipeline.calibrate(calib)
+            rows.append([method, round(pipeline.average_bits_per_element(), 3)])
+            pipeline.detach()
+        return rows
+
+    rows = benchmark(census)
+    save_result(
+        "ablation_bits_per_element",
+        format_table(
+            ["Method", "avg bits/element"], rows,
+            title="Ablation: effective storage cost at nominal 6-bit",
+        ),
+    )
+    cost = dict(rows)
+    # QUQ matches plain uniform exactly; FQ-ViT and BiScaled pay overhead.
+    assert cost["quq"] == cost["baseq"] == 6.0
+    assert cost["fqvit"] > 6.0
+    assert cost["biscaled"] > 6.0

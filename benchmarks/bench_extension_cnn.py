@@ -1,0 +1,68 @@
+"""Extension: QUQ on a convolutional network (the paper's conclusion claim).
+
+The conclusion argues QUQ "is inherently capable of effectively quantizing
+the other NN models" and Section 5 notes BiScaled-FxP's original domain is
+CNNs.  This bench fully quantizes the MiniConvNet zoo model with BaseQ,
+BiScaled-FxP and QUQ and checks QUQ transfers without modification.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.data import calibration_set, make_splits
+from repro.models import get_trained_model
+from repro.models.zoo import DATASET_SPEC
+from repro.quant import PTQPipeline, hessian_refine
+from repro.training import evaluate_top1
+
+from conftest import save_result, val_subset_size
+
+BIT_WIDTHS = (4, 6, 8)
+METHODS = ("baseq", "biscaled", "quq")
+
+
+@pytest.fixture(scope="module")
+def cnn_setup():
+    model, fp32 = get_trained_model("cnn_mini", verbose=True)
+    train_set, val_set = make_splits(**DATASET_SPEC)
+    calib = calibration_set(train_set, 32)
+    return model, fp32, calib, val_set.subset(val_subset_size(), seed=11)
+
+
+def _evaluate(model, method, bits, calib, val):
+    pipeline = PTQPipeline(model, method=method, bits=bits, coverage="full")
+    pipeline.calibrate(calib)
+    hessian_refine(pipeline, calib)
+    accuracy = evaluate_top1(model, val)
+    pipeline.detach()
+    return accuracy
+
+
+def test_cnn_quantization(benchmark, cnn_setup):
+    model, fp32, calib, val = cnn_setup
+    rows = [["Original", "32/32", round(fp32, 2)]]
+    for bits in BIT_WIDTHS:
+        for method in METHODS:
+            rows.append(
+                [method, f"{bits}/{bits}",
+                 round(_evaluate(model, method, bits, calib, val), 2)]
+            )
+    save_result(
+        "extension_cnn",
+        format_table(
+            ["Method", "W/A", "cnn_mini Top-1"],
+            rows,
+            title="Extension: fully quantized CNN (conclusion's generality claim)",
+        ),
+    )
+
+    benchmark(lambda: _evaluate(model, "quq", 8, calib, val))
+
+    by_key = {(r[0], r[1]): r[2] for r in rows}
+    for bits in BIT_WIDTHS:
+        # QUQ transfers to CNNs: never behind plain uniform.
+        assert by_key[("quq", f"{bits}/{bits}")] >= by_key[("baseq", f"{bits}/{bits}")] - 2.0
+    # 8-bit full quantization is nearly lossless on the CNN too.
+    assert by_key[("quq", "8/8")] >= rows[0][2] - 5.0

@@ -1,0 +1,73 @@
+"""Extension: end-to-end integer-only inference on the QUA.
+
+The accuracy tables measure *fake* quantization (float simulation); this
+bench closes the hardware loop by classifying a validation subset entirely
+through the integer pipeline (QUB encode -> DU -> PE array -> QU, with the
+SFUs on decoded integers) and comparing against the fake-quantized model.
+Agreement near 100% is the end-to-end evidence that the QUB encoding and
+Eq. (5) arithmetic implement the algorithm the tables evaluate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.data import calibration_set, make_splits
+from repro.hw import ModelExecutor
+from repro.models import get_trained_model
+from repro.models.zoo import DATASET_SPEC
+from repro.quant import PTQPipeline
+from repro.training import predict_logits
+
+from conftest import save_result
+
+N_IMAGES = 128
+
+
+@pytest.fixture(scope="module")
+def setup():
+    model, fp32 = get_trained_model("vit_mini_s", verbose=True)
+    train_set, val_set = make_splits(**DATASET_SPEC)
+    calib = calibration_set(train_set, 32)
+    return model, calib, val_set
+
+
+def test_integer_inference_agreement(benchmark, setup):
+    model, calib, val_set = setup
+    images = val_set.images[:N_IMAGES]
+    labels = val_set.labels[:N_IMAGES]
+
+    rows = []
+    for bits in (8, 6):
+        pipeline = PTQPipeline(model, method="quq", bits=bits, coverage="full")
+        pipeline.calibrate(calib)
+        fq_logits = predict_logits(model, images)
+        executor = ModelExecutor(model, pipeline, bits=bits)
+        pipeline.detach()
+        hw_logits = executor.run(images.astype(np.float64))
+
+        agreement = float(np.mean(fq_logits.argmax(-1) == hw_logits.argmax(-1)))
+        acc_fq = float(100 * np.mean(fq_logits.argmax(-1) == labels))
+        acc_hw = float(100 * np.mean(hw_logits.argmax(-1) == labels))
+        rows.append([bits, round(acc_fq, 2), round(acc_hw, 2), round(agreement, 4)])
+
+    save_result(
+        "extension_integer_inference",
+        format_table(
+            ["Bits", "fake-quant Top-1", "integer-path Top-1", "argmax agreement"],
+            rows,
+            title="Extension: full integer-only inference on the QUA "
+            f"({N_IMAGES} validation images)",
+        ),
+    )
+    for row in rows:
+        assert row[3] >= 0.95
+
+    # Timing target: one integer-path forward of a small batch.
+    pipeline = PTQPipeline(model, method="quq", bits=8, coverage="full")
+    pipeline.calibrate(calib)
+    executor = ModelExecutor(model, pipeline, bits=8)
+    pipeline.detach()
+    benchmark(executor.run, images[:16].astype(np.float64))

@@ -1,0 +1,167 @@
+"""Extensions: QAT recovery, mixed precision, integer SFUs, sensitivity.
+
+Four forward-looking experiments the library enables beyond the paper:
+
+1. **QAT recovery** — fine-tuning through the straight-through nodes
+   recovers most of the stress-point accuracy drop.
+2. **Mixed precision** — sensitivity-guided bit allocation beats the
+   uniform-bit configuration at equal average bits.
+3. **Integer SFUs** — the I-ViT-style integer-only special functions cost
+   almost nothing vs float SFUs on the QUA block executor.
+4. **Sensitivity profile** — which dataflow taps dominate the
+   full-quantization gap (the paper's Figure 1 motivation, quantified).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table, kind_sensitivity, tap_sensitivity
+from repro.autograd import Tensor, concat, no_grad
+from repro.data import calibration_set, make_splits
+from repro.hw import BlockExecutor
+from repro.models import get_trained_model
+from repro.models.zoo import DATASET_SPEC
+from repro.quant import PTQPipeline, allocate_mixed_precision, hessian_refine
+from repro.training import evaluate_top1, quantization_aware_finetune
+
+from conftest import save_result, val_subset_size
+
+STRESS_BITS = 4
+
+
+@pytest.fixture(scope="module")
+def setup():
+    model, fp32 = get_trained_model("vit_mini_s", verbose=True)
+    train_set, val_set = make_splits(**DATASET_SPEC)
+    calib = calibration_set(train_set, 32)
+    return model, fp32, train_set, calib, val_set.subset(val_subset_size(), seed=11)
+
+
+def test_qat_recovery(benchmark, setup):
+    model, fp32, train_set, calib, val = setup
+    state = model.state_dict()  # restore afterwards
+
+    pipeline = PTQPipeline(model, method="quq", bits=STRESS_BITS, coverage="full")
+    pipeline.calibrate(calib)
+    hessian_refine(pipeline, calib)
+    ptq_acc = evaluate_top1(model, val)
+    quantization_aware_finetune(pipeline, train_set.subset(1024, seed=0), epochs=2)
+    qat_acc = evaluate_top1(model, val)
+    pipeline.detach()
+    model.load_state_dict(state)
+
+    save_result(
+        "extension_qat",
+        format_table(
+            ["Stage", f"Top-1 @ {STRESS_BITS}-bit full"],
+            [["FP32", round(fp32, 2)], ["PTQ (QUQ)", round(ptq_acc, 2)],
+             ["PTQ + 2-epoch QAT", round(qat_acc, 2)]],
+            title="Extension: quantization-aware fine-tuning recovery",
+        ),
+    )
+    assert qat_acc > ptq_acc + 2.0  # QAT must recover a real chunk
+
+    benchmark(lambda: evaluate_top1(model, val.subset(96, seed=0)))
+
+
+def test_mixed_precision(benchmark, setup):
+    """At a 5.0 mean-bit budget, spending bits on the sensitive taps must
+    beat the 4-bit uniform floor (which costs 1 bit less) by a wide margin
+    and approach the 6-bit uniform ceiling (which costs 1 bit more)."""
+    model, fp32, _, calib, val = setup
+    pipeline = PTQPipeline(model, method="quq", bits=4, coverage="full")
+    pipeline.calibrate(calib)
+    uniform4 = evaluate_top1(model, val)
+    sensitivities = tap_sensitivity(pipeline, calib[:16])
+    allocation = allocate_mixed_precision(
+        pipeline, sensitivities, budget_bits=5.0, calib_images=calib,
+        bit_choices=(4, 6, 8),
+    )
+    mixed = evaluate_top1(model, val)
+    pipeline.detach()
+
+    pipeline6 = PTQPipeline(model, method="quq", bits=6, coverage="full")
+    pipeline6.calibrate(calib)
+    uniform6 = evaluate_top1(model, val)
+    pipeline6.detach()
+
+    mean_bits = float(np.mean(list(allocation.values())))
+    counts = {b: sum(1 for v in allocation.values() if v == b) for b in (4, 6, 8)}
+    save_result(
+        "extension_mixed_precision",
+        format_table(
+            ["Config", "avg bits", "Top-1"],
+            [["uniform 4-bit", 4.0, round(uniform4, 2)],
+             [f"mixed {counts}", round(mean_bits, 2), round(mixed, 2)],
+             ["uniform 6-bit", 6.0, round(uniform6, 2)]],
+            title="Extension: sensitivity-guided mixed precision (full quantization)",
+        ),
+    )
+    assert mean_bits <= 5.0 + 1e-9
+    assert mixed >= uniform4 - 1.0  # never worse than the cheaper floor
+
+    benchmark(lambda: tap_sensitivity(pipeline, calib[:8],
+                                      taps=pipeline.tap_names()[:4]))
+
+
+def test_integer_sfu_block(benchmark, setup):
+    model, _, _, calib, _ = setup
+    pipeline = PTQPipeline(model, method="quq", bits=8, coverage="full")
+    pipeline.calibrate(calib)
+
+    pipeline.detach()
+    with no_grad():
+        patches = model.patch_embed(Tensor(calib[:8]))
+        ones = Tensor(np.ones((8, 1, 1), dtype=np.float32))
+        tokens = concat([ones * model.cls_token, patches], axis=1) + model.pos_embed
+    pipeline.attach()
+    with no_grad():
+        reference = model.blocks[0](tokens).data
+    pipeline.detach()
+
+    rows = []
+    for integer_sfu in (False, True):
+        executor = BlockExecutor(
+            model.blocks[0], pipeline, "vit_mini_s.blocks.0", bits=8,
+            integer_sfu=integer_sfu,
+        )
+        out = executor.run(tokens.data.astype(np.float64))
+        corr = np.corrcoef(out.reshape(-1), reference.reshape(-1))[0, 1]
+        rows.append(["integer" if integer_sfu else "float", round(corr, 6)])
+    save_result(
+        "extension_int_sfu",
+        format_table(
+            ["SFU kernels", "corr vs fake-quant block"],
+            rows,
+            title="Extension: QUA block executor with integer-only SFUs",
+        ),
+    )
+    assert all(r[1] > 0.99 for r in rows)
+
+    executor = BlockExecutor(model.blocks[0], pipeline, "vit_mini_s.blocks.0", bits=8)
+    benchmark(executor.run, tokens.data.astype(np.float64))
+
+
+def test_sensitivity_profile(benchmark, setup):
+    model, _, _, calib, _ = setup
+    pipeline = PTQPipeline(model, method="baseq", bits=STRESS_BITS, coverage="full")
+    pipeline.calibrate(calib)
+    profile = benchmark(kind_sensitivity, pipeline, calib[:16])
+    pipeline.detach()
+
+    rows = sorted(profile.items(), key=lambda kv: kv[1], reverse=True)
+    save_result(
+        "extension_sensitivity",
+        format_table(
+            ["Tap kind", "logit MSE when quantized alone"],
+            [[k, v] for k, v in rows],
+            title=f"Extension: per-kind sensitivity at {STRESS_BITS}-bit (BaseQ)",
+        ),
+    )
+    # The paper's motivation: the red taps (residual/norm) are among the
+    # dominant contributors to the full-quantization gap.
+    hard = {"residual", "norm_input"}
+    top_two = {rows[0][0], rows[1][0]}
+    assert hard & top_two

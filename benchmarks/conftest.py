@@ -1,0 +1,80 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure from the paper.
+Beyond pytest-benchmark's timing output, every bench writes its reproduced
+table to ``benchmarks/results/<name>.txt`` so the artifacts survive output
+capture.
+
+Environment knobs:
+
+* ``REPRO_BENCH_FAST=1`` — restrict accuracy tables to two models and a
+  smaller validation subset (quick smoke run).
+* ``REPRO_BENCH_VAL`` — validation-subset size (default 384).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.data import calibration_set, make_splits
+from repro.models import MINI_FOR_PAPER, get_trained_model
+from repro.models.zoo import DATASET_SPEC
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Paper-model order of the accuracy tables' columns.
+PAPER_MODEL_ORDER = ("vit_s", "vit_l", "deit_s", "deit_b", "swin_t", "swin_s")
+
+
+def fast_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FAST", "") == "1"
+
+
+def bench_models() -> list[str]:
+    if fast_mode():
+        return ["vit_s", "deit_s"]
+    return list(PAPER_MODEL_ORDER)
+
+
+def val_subset_size() -> int:
+    default = 192 if fast_mode() else 384
+    return int(os.environ.get("REPRO_BENCH_VAL", default))
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a reproduced table/figure and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def splits():
+    return make_splits(**DATASET_SPEC)
+
+
+@pytest.fixture(scope="session")
+def calib(splits):
+    train_set, _ = splits
+    # The paper calibrates on 32 randomly chosen training images.
+    return calibration_set(train_set, 32)
+
+
+@pytest.fixture(scope="session")
+def val_subset(splits):
+    _, val_set = splits
+    return val_set.subset(val_subset_size(), seed=11)
+
+
+@pytest.fixture(scope="session")
+def zoo():
+    """Trained mini models keyed by *paper* model name."""
+    models = {}
+    for paper_name in bench_models():
+        mini_name = MINI_FOR_PAPER[paper_name]
+        model, fp32 = get_trained_model(mini_name, verbose=True)
+        models[paper_name] = (model, fp32)
+    return models

@@ -1,0 +1,46 @@
+"""Figure 7 workflow: attention maps under quantization, in the terminal.
+
+Loads the trained mini ViT-S, quantizes it fully at a sweep of bit-widths
+with uniform quantization and QUQ, and renders attention-rollout heatmaps
+plus fidelity metrics against the FP32 model.
+
+    python examples/attention_visualization.py
+"""
+
+from repro.analysis import (
+    ascii_heatmap,
+    crucial_region_energy,
+    rollout_correlation,
+    rollout_for_images,
+)
+from repro import quantize_model
+from repro.data import calibration_set, make_splits
+from repro.models import get_trained_model
+from repro.models.zoo import DATASET_SPEC
+
+
+def main():
+    model, _ = get_trained_model("vit_mini_s", verbose=True)
+    train_set, val_set = make_splits(**DATASET_SPEC)
+    calib = calibration_set(train_set, 32)
+    images = val_set.images[:8]
+
+    reference = rollout_for_images(model, images)
+    print("FP32 attention rollout (image 0):")
+    print(ascii_heatmap(reference[0]))
+
+    for bits in (8, 4):
+        for method in ("baseq", "quq"):
+            pipeline = quantize_model(model, calib, method=method, bits=bits,
+                                      coverage="full")
+            rollout = rollout_for_images(model, images)
+            pipeline.detach()
+            corr = rollout_correlation(reference, rollout)
+            energy = crucial_region_energy(reference, rollout, quantile=0.9)
+            print(f"\n{method} {bits}-bit: corr={corr:.3f} "
+                  f"crucial-region energy={energy:.3f}")
+            print(ascii_heatmap(rollout[0]))
+
+
+if __name__ == "__main__":
+    main()

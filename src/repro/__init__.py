@@ -1,0 +1,65 @@
+"""repro — reproduction of "QUQ: Quadruplet Uniform Quantization for
+Efficient Vision Transformer Inference" (DAC 2024).
+
+High-level entry points:
+
+* :func:`quantize_model` — one call from a trained model to a fully (or
+  partially) quantized one, following the paper's PTQ protocol.
+* :mod:`repro.quant` — QUQ itself (progressive relaxation, QUB codec) and
+  every baseline (BaseQ, BiScaled-FxP, FQ-ViT-style, PTQ4ViT-style).
+* :mod:`repro.models` / :mod:`repro.data` — the ViT/DeiT/Swin substrate
+  and the SynthShapes dataset (ImageNet stand-in).
+* :mod:`repro.hw` — the QUA accelerator: bit-exact datapath, area/power
+  model, on-chip memory simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import analysis, autograd, data, hw, models, nn, quant, training
+from .quant.hessian import hessian_refine
+from .quant.qmodel import PTQPipeline
+from .quant.relax import PRAConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "autograd",
+    "data",
+    "hw",
+    "models",
+    "nn",
+    "quant",
+    "training",
+    "quantize_model",
+    "PTQPipeline",
+    "PRAConfig",
+]
+
+
+def quantize_model(
+    model,
+    calib_images: np.ndarray,
+    method: str = "quq",
+    bits: int = 6,
+    coverage: str = "full",
+    hessian: bool = True,
+    pra_config: PRAConfig | None = None,
+) -> PTQPipeline:
+    """Post-training-quantize ``model`` following the paper's protocol.
+
+    Calibrates per-tensor quantizers on ``calib_images`` (the paper uses 32
+    training images), optionally refines scales with the Hessian-weighted
+    grid search, and leaves the model running with fake quantization
+    attached.  Returns the pipeline; call ``pipeline.detach()`` to restore
+    float behaviour.
+    """
+    pipeline = PTQPipeline(
+        model, method=method, bits=bits, coverage=coverage, pra_config=pra_config
+    )
+    pipeline.calibrate(calib_images)
+    if hessian:
+        hessian_refine(pipeline, calib_images)
+    return pipeline

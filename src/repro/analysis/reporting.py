@@ -1,0 +1,38 @@
+"""Plain-text table formatting shared by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_float"]
+
+
+def format_float(value, digits: int = 2) -> str:
+    """Format a number for a table cell ('-' for None)."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 10 ** (-digits) or abs(value) >= 10**6):
+            return f"{value:.2e}"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Render an aligned text table (the harness's stand-in for LaTeX)."""
+    cells = [[format_float(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells)) if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""From-scratch reverse-mode autograd engine (NumPy-backed)."""
+
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+from .ops import (
+    concat,
+    erf,
+    gelu,
+    layer_norm,
+    log_softmax,
+    masked_fill,
+    pad2d,
+    relu,
+    roll,
+    softmax,
+    stack,
+    straight_through,
+    take,
+    unfold_patches,
+    unfold_windows,
+)
+from .grad_check import check_gradients, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "concat",
+    "erf",
+    "gelu",
+    "layer_norm",
+    "log_softmax",
+    "masked_fill",
+    "pad2d",
+    "relu",
+    "roll",
+    "softmax",
+    "stack",
+    "straight_through",
+    "take",
+    "unfold_patches",
+    "unfold_windows",
+    "check_gradients",
+    "numerical_gradient",
+]

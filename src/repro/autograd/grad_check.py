@@ -1,0 +1,64 @@
+"""Numerical gradient checking for the autograd engine.
+
+Used by the test suite to validate every primitive and composite operation
+against central finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients"]
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    index: int,
+    eps: float = 1e-3,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input."""
+    base = [np.asarray(a, dtype=np.float64) for a in inputs]
+    grad = np.zeros_like(base[index])
+    it = np.nditer(base[index], flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = base[index][idx]
+
+        base[index][idx] = original + eps
+        plus = float(fn(*[Tensor(a) for a in base]).data.sum())
+        base[index][idx] = original - eps
+        minus = float(fn(*[Tensor(a) for a in base]).data.sum())
+        base[index][idx] = original
+
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    atol: float = 1e-2,
+    rtol: float = 1e-2,
+    eps: float = 1e-3,
+) -> None:
+    """Assert analytic gradients match finite differences for every input.
+
+    Raises ``AssertionError`` with the offending input index on mismatch.
+    """
+    tensors = [Tensor(np.asarray(a, dtype=np.float32), requires_grad=True) for a in inputs]
+    out = fn(*tensors)
+    out.backward(np.ones_like(out.data))
+    for i, tensor in enumerate(tensors):
+        numeric = numerical_gradient(fn, inputs, i, eps=eps)
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(numeric)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradient mismatch for input {i}: max abs error {worst:.3e}"
+            )

@@ -1,0 +1,304 @@
+"""Composite and structural operations built on the autograd primitives.
+
+Everything a vision transformer needs beyond basic arithmetic lives here:
+``softmax``, ``gelu``, ``layer_norm``, tensor concatenation, padding,
+cyclic rolls (for Swin's shifted windows), gathers (for relative position
+bias tables), masking, and the straight-through fake-quantization node used
+by the PTQ pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy.special import erf as _erf
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "erf",
+    "gelu",
+    "relu",
+    "softmax",
+    "log_softmax",
+    "layer_norm",
+    "concat",
+    "stack",
+    "pad2d",
+    "roll",
+    "take",
+    "masked_fill",
+    "straight_through",
+    "unfold_patches",
+    "unfold_windows",
+]
+
+_INV_SQRT_PI = 2.0 / np.sqrt(np.pi)
+_INV_SQRT_2 = 1.0 / np.sqrt(2.0)
+_INV_SQRT_2PI = 1.0 / np.sqrt(2.0 * np.pi)
+
+
+def erf(x: Tensor) -> Tensor:
+    """Gauss error function with its analytic derivative."""
+    x = as_tensor(x)
+    out_data = _erf(x.data).astype(np.float32)
+    data = x.data
+
+    def backward(g):
+        return (g * _INV_SQRT_PI * np.exp(-data * data),)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Exact GELU, ``x * Phi(x)``, matching the reference ViT definition.
+
+    Implemented as a fused primitive (single erf evaluation shared between
+    forward and backward) because it sits on the training hot path.
+    """
+    x = as_tensor(x)
+    data = x.data
+    phi = 0.5 * (1.0 + _erf(data * _INV_SQRT_2))
+    out_data = (data * phi).astype(np.float32)
+
+    def backward(g):
+        density = _INV_SQRT_2PI * np.exp(-0.5 * data * data)
+        return (g * (phi + data * density),)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    x = as_tensor(x)
+    out_data = np.maximum(x.data, 0.0)
+    mask = (x.data > 0).astype(np.float32)
+
+    def backward(g):
+        return (g * mask,)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(g):
+        dot = (g * out_data).sum(axis=axis, keepdims=True)
+        return (out_data * (g - dot),)
+
+    return Tensor._make(out_data.astype(np.float32), (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = (shifted - log_sum).astype(np.float32)
+    soft = np.exp(out_data)
+
+    def backward(g):
+        return (g - soft * g.sum(axis=axis, keepdims=True),)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def layer_norm(
+    x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-6
+) -> Tensor:
+    """Layer normalization over the last dimension.
+
+    Fused primitive computing ``(x - mean) / sqrt(var + eps) * weight + bias``
+    with the standard analytic backward (appears twice per transformer block,
+    so fusing it matters for training throughput).
+    """
+    x, weight, bias = as_tensor(x), as_tensor(weight), as_tensor(bias)
+    data = x.data
+    mean = data.mean(axis=-1, keepdims=True)
+    centered = data - mean
+    variance = (centered * centered).mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(variance + eps)
+    normalized = centered * inv_std
+    out_data = (normalized * weight.data + bias.data).astype(np.float32)
+    w_data = weight.data
+
+    def backward(g):
+        gw_hat = g * w_data
+        mean_g = gw_hat.mean(axis=-1, keepdims=True)
+        mean_gx = (gw_hat * normalized).mean(axis=-1, keepdims=True)
+        gx = (gw_hat - mean_g - normalized * mean_gx) * inv_std
+        reduce_axes = tuple(range(g.ndim - 1))
+        gweight = (g * normalized).sum(axis=reduce_axes)
+        gbias = g.sum(axis=reduce_axes)
+        return (gx.astype(np.float32), gweight, gbias)
+
+    return Tensor._make(out_data, (x, weight, bias), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    boundaries = np.cumsum(sizes)[:-1]
+
+    def backward(g):
+        return tuple(np.split(g, boundaries, axis=axis))
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g):
+        slices = np.split(g, len(tensors), axis=axis)
+        return tuple(np.squeeze(s, axis=axis) for s in slices)
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def pad2d(x: Tensor, pad: tuple[int, int, int, int]) -> Tensor:
+    """Zero-pad the two spatial dims of a ``(B, H, W, C)`` tensor.
+
+    ``pad`` is ``(top, bottom, left, right)``.
+    """
+    top, bottom, left, right = pad
+    widths = ((0, 0), (top, bottom), (left, right), (0, 0))
+    out_data = np.pad(x.data, widths)
+    h, w = x.shape[1], x.shape[2]
+
+    def backward(g):
+        return (g[:, top : top + h, left : left + w, :],)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def roll(x: Tensor, shifts: tuple[int, ...], axes: tuple[int, ...]) -> Tensor:
+    """Cyclically roll ``x`` (used for Swin's shifted windows)."""
+    out_data = np.roll(x.data, shifts, axis=axes)
+    inverse = tuple(-s for s in shifts)
+
+    def backward(g):
+        return (np.roll(g, inverse, axis=axes),)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def take(table: Tensor, index: np.ndarray) -> Tensor:
+    """Gather rows of ``table`` (first axis) by integer ``index``.
+
+    Used for relative-position-bias lookups in window attention.  The
+    gradient scatters back with ``np.add.at`` so repeated indices
+    accumulate correctly.
+    """
+    index = np.asarray(index)
+    out_data = table.data[index]
+    shape = table.shape
+
+    def backward(g):
+        full = np.zeros(shape, dtype=np.float32)
+        np.add.at(full, index, g)
+        return (full,)
+
+    return Tensor._make(out_data, (table,), backward)
+
+
+def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
+    """Replace entries of ``x`` where ``mask`` is true with ``value``.
+
+    ``mask`` is a plain boolean array (it is structural, never
+    differentiated).  Gradients are blocked at masked positions.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    broadcast_mask = np.broadcast_to(mask, x.shape)
+    out_data = np.where(broadcast_mask, np.float32(value), x.data)
+
+    def backward(g):
+        return (np.where(broadcast_mask, 0.0, g).astype(np.float32),)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def straight_through(x: Tensor, transform: Callable[[np.ndarray], np.ndarray]) -> Tensor:
+    """Apply ``transform`` in the forward pass, identity in the backward.
+
+    This is the straight-through estimator used to place fake-quantization
+    nodes inside the autograd graph: the quantize-dequantize round trip
+    changes the forward values while gradients flow through unchanged,
+    which is exactly what the Hessian-weighted grid search needs.
+    """
+    out_data = np.asarray(transform(x.data), dtype=np.float32)
+    if out_data.shape != x.data.shape:
+        raise ValueError("straight_through transform must preserve shape")
+
+    def backward(g):
+        return (g,)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def unfold_windows(x: Tensor, kernel: int, stride: int = 1, padding: int = 0) -> Tensor:
+    """im2col: extract overlapping ``kernel x kernel`` windows.
+
+    ``(B, H, W, C) -> (B, out_h * out_w, kernel * kernel * C)``, the
+    lowering that turns a convolution into a GEMM (which is how the QUA
+    accelerator executes convolutions).  The backward pass scatter-adds
+    window gradients back to their source pixels.
+    """
+    if kernel < 1 or stride < 1 or padding < 0:
+        raise ValueError("kernel/stride must be >= 1 and padding >= 0")
+    data = x.data
+    if padding:
+        data = np.pad(data, ((0, 0), (padding, padding), (padding, padding), (0, 0)))
+    b, h, w, c = data.shape
+    if h < kernel or w < kernel:
+        raise ValueError(f"padded input {h}x{w} smaller than kernel {kernel}")
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+
+    # Gather indices into the flattened (padded) spatial grid.
+    rows = (np.arange(out_h) * stride)[:, None] + np.arange(kernel)[None, :]
+    cols = (np.arange(out_w) * stride)[:, None] + np.arange(kernel)[None, :]
+    # (out_h, out_w, kernel, kernel) flat spatial index:
+    flat_index = (
+        rows[:, None, :, None] * w + cols[None, :, None, :]
+    ).reshape(out_h * out_w, kernel * kernel)
+
+    flat = data.reshape(b, h * w, c)
+    out_data = flat[:, flat_index, :].reshape(b, out_h * out_w, kernel * kernel * c)
+    in_h, in_w = x.shape[1], x.shape[2]
+
+    def backward(g):
+        g = g.reshape(b, out_h * out_w, kernel * kernel, c)
+        grad_flat = np.zeros((b, h * w, c), dtype=np.float32)
+        np.add.at(grad_flat, (slice(None), flat_index), g)
+        grad = grad_flat.reshape(b, h, w, c)
+        if padding:
+            grad = grad[:, padding : padding + in_h, padding : padding + in_w, :]
+        return (grad,)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def unfold_patches(x: Tensor, patch: int) -> Tensor:
+    """Rearrange ``(B, H, W, C)`` images into ``(B, N, patch*patch*C)`` patches.
+
+    Equivalent to the strided convolution patch embedding in ViT when
+    followed by a Linear layer; implemented as a pure reshape/transpose so
+    the backward pass is exact.
+    """
+    b, h, w, c = x.shape
+    if h % patch or w % patch:
+        raise ValueError(f"image size {(h, w)} not divisible by patch {patch}")
+    gh, gw = h // patch, w // patch
+    out = x.reshape(b, gh, patch, gw, patch, c)
+    out = out.transpose(0, 1, 3, 2, 4, 5)
+    return out.reshape(b, gh * gw, patch * patch * c)

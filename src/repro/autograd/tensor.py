@@ -1,0 +1,465 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This module provides the :class:`Tensor` class, a thin wrapper around
+``numpy.ndarray`` that records the operations applied to it on a tape and can
+replay them in reverse to accumulate gradients.  It is the substrate on which
+the neural-network layers in :mod:`repro.nn` and the vision transformers in
+:mod:`repro.models` are built.
+
+Only the primitive operations live here; composite operations (softmax, GELU,
+layer normalization, ...) are assembled from these primitives in
+:mod:`repro.autograd.ops`.
+
+Design notes
+------------
+* Gradients are accumulated into ``Tensor.grad`` as plain ``numpy.ndarray``
+  objects; higher-order differentiation is not supported (and not needed for
+  the post-training-quantization experiments this library serves).
+* Broadcasting follows NumPy semantics.  Every binary primitive reduces the
+  upstream gradient back to the operand's shape via :func:`_unbroadcast`.
+* ``float32`` is the default dtype, matching the precision regime the QUQ
+  paper quantizes from.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables tape recording.
+
+    Used for inference-only passes (calibration sweeps, quantized
+    evaluation) where building the autograd graph would waste memory.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations are currently recorded on the tape."""
+    return _GRAD_ENABLED
+
+
+def _is_basic_index(index) -> bool:
+    """True when ``index`` uses only basic (non-fancy) NumPy indexing."""
+    items = index if isinstance(index, tuple) else (index,)
+    return all(
+        item is None
+        or item is Ellipsis
+        or isinstance(item, (int, np.integer, slice))
+        for item in items
+    )
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were 1 in the original shape.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed tensor that supports reverse-mode differentiation.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Floating-point inputs are stored as ``float32``
+        unless they already carry a floating dtype.
+    requires_grad:
+        Whether gradients should be accumulated into this tensor during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+        if isinstance(data, Tensor):
+            data = data.data
+        array = np.asarray(data)
+        if array.dtype == np.float64:
+            array = array.astype(np.float32)
+        elif not np.issubdtype(array.dtype, np.floating):
+            array = array.astype(np.float32)
+        self.data: np.ndarray = array
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Graph construction helper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create a result tensor wired into the tape when grad is enabled."""
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = grad.astype(np.float32, copy=True)
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Upstream gradient.  Defaults to ones (appropriate for a scalar
+            loss).
+        """
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float32)
+
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                # Leaf: this is where gradients are stored.  Intermediate
+                # results do not retain .grad (saves one copy per node).
+                node._accumulate(node_grad)
+                continue
+            parent_grads = node._backward(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+
+    # ------------------------------------------------------------------
+    # Primitive operations
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(g):
+            return (
+                _unbroadcast(g, self.shape),
+                _unbroadcast(g, other.shape),
+            )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(g):
+            return (-g,)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+        a_data, b_data = self.data, other.data
+
+        def backward(g):
+            return (
+                _unbroadcast(g * b_data, self.shape),
+                _unbroadcast(g * a_data, other.shape),
+            )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data / other.data
+        a_data, b_data = self.data, other.data
+
+        def backward(g):
+            return (
+                _unbroadcast(g / b_data, self.shape),
+                _unbroadcast(-g * a_data / (b_data * b_data), other.shape),
+            )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+        base = self.data
+
+        def backward(g):
+            return (g * exponent * base ** (exponent - 1),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = np.matmul(self.data, other.data)
+        a_data, b_data = self.data, other.data
+
+        def backward(g):
+            ga = gb = None
+            if self.requires_grad:
+                ga = np.matmul(g, np.swapaxes(b_data, -1, -2))
+                ga = _unbroadcast(ga, self.shape)
+            if other.requires_grad:
+                if b_data.ndim == 2 and a_data.ndim > 2:
+                    # Common Linear case: fold the batch dims into rows so
+                    # the weight gradient is one GEMM instead of a batched
+                    # GEMM followed by a large reduction.
+                    rows = a_data.reshape(-1, a_data.shape[-1])
+                    gb = rows.T @ g.reshape(-1, g.shape[-1])
+                else:
+                    gb = np.matmul(np.swapaxes(a_data, -1, -2), g)
+                    gb = _unbroadcast(gb, other.shape)
+            return (ga, gb)
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(g):
+            return (g.reshape(original),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inverse = np.argsort(axes)
+        out_data = self.data.transpose(axes)
+
+        def backward(g):
+            return (g.transpose(inverse),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        out_data = np.swapaxes(self.data, axis1, axis2)
+
+        def backward(g):
+            return (np.swapaxes(g, axis1, axis2),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+        shape = self.shape
+        basic = _is_basic_index(index)
+
+        def backward(g):
+            full = np.zeros(shape, dtype=np.float32)
+            if basic:
+                # Basic indexing selects each element at most once, so a
+                # direct in-place add is safe and much faster than add.at.
+                full[index] += g
+            else:
+                np.add.at(full, index, g)
+            return (full,)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.shape
+
+        def backward(g):
+            if axis is None:
+                return (np.broadcast_to(g, shape),)
+            g_expanded = g
+            if not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % len(shape) for a in axes)
+                g_expanded = np.expand_dims(g, axes)
+            return (np.broadcast_to(g_expanded, shape),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        data = self.data
+
+        def backward(g):
+            if axis is None:
+                mask = (data == data.max()).astype(np.float32)
+                mask /= mask.sum()
+                return (mask * g,)
+            expanded = data.max(axis=axis, keepdims=True)
+            mask = (data == expanded).astype(np.float32)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            g_expanded = g if keepdims else np.expand_dims(
+                g, axis if isinstance(axis, tuple) else (axis,)
+            )
+            return (mask * g_expanded,)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise transcendental functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(g):
+            return (g * out_data,)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+        data = self.data
+
+        def backward(g):
+            return (g / data,)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(g):
+            return (g * 0.5 / out_data,)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(g):
+            return (g * (1.0 - out_data * out_data),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` without copying existing ones."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)

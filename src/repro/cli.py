@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``zoo``            train/load the mini model zoo and print FP32 accuracy
+``quantize``       quantize one model, print Top-1 (method/bits/coverage)
+``export``         quantize with QUQ and write a deployable .npz artifact
+``table4``         print the accelerator area/power table
+``memory``         print the Figure-2 peak-memory table
+``inspect``        fit QUQ on a model's calibration tensors, print modes
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from .analysis import format_table
+from .data import calibration_set, make_splits
+from .models import MINI_CONFIGS, PAPER_CONFIGS, get_trained_model
+from .models.zoo import DATASET_SPEC
+from .training import evaluate_top1
+
+_TRAINABLE = sorted(MINI_CONFIGS) + ["cnn_mini"]
+
+
+def _setup(model_name: str, val_count: int):
+    model, fp32 = get_trained_model(model_name, verbose=True)
+    train_set, val_set = make_splits(**DATASET_SPEC)
+    calib = calibration_set(train_set, 32)
+    return model, fp32, calib, val_set.subset(val_count, seed=11)
+
+
+def cmd_zoo(args) -> None:
+    rows = []
+    for name in _TRAINABLE:
+        _, fp32 = get_trained_model(name, verbose=True)
+        rows.append([name, round(fp32, 2)])
+    print(format_table(["model", "fp32 top-1"], rows, title="Model zoo"))
+
+
+def cmd_quantize(args) -> None:
+    from . import quantize_model
+
+    model, fp32, calib, val = _setup(args.model, args.val)
+    pipeline = quantize_model(
+        model, calib, method=args.method, bits=args.bits,
+        coverage=args.coverage, hessian=not args.no_hessian,
+    )
+    accuracy = evaluate_top1(model, val)
+    pipeline.detach()
+    print(f"{args.model} fp32 {fp32:.2f}% -> {args.method} "
+          f"{args.bits}-bit {args.coverage}: {accuracy:.2f}%")
+
+
+def cmd_export(args) -> None:
+    from . import quantize_model
+    from .quant import deployment_report, export_quantized
+
+    model, _, calib, _ = _setup(args.model, 64)
+    pipeline = quantize_model(model, calib, method="quq", bits=args.bits,
+                              coverage="full")
+    artifact = export_quantized(pipeline, args.output)
+    report = deployment_report(pipeline)
+    pipeline.detach()
+    print(f"wrote {args.output}: {len(artifact.weights)} weight tensors, "
+          f"{len(artifact.activations)} activation parameter sets")
+    print(f"fp32 {report['fp32_megabytes']:.2f} MiB -> "
+          f"{report['quantized_megabytes']:.2f} MiB "
+          f"({report['compression']:.1f}x)")
+
+
+def cmd_table4(args) -> None:
+    from .hw import table4
+
+    rows = [
+        [r["method"], r["bits"], round(r["area_mm2_16"], 3),
+         round(r["power_mw_16"], 1), round(r["area_mm2_64"], 3),
+         round(r["power_mw_64"], 1)]
+        for r in table4()
+    ]
+    print(format_table(
+        ["method", "bits", "16x16 mm^2", "16x16 mW", "64x64 mm^2", "64x64 mW"],
+        rows, title="Accelerator area/power (analytical model)",
+    ))
+
+
+def cmd_memory(args) -> None:
+    from .hw import memory_table
+
+    configs = [PAPER_CONFIGS[n] for n in ("vit_s", "vit_b", "vit_l")]
+    rows = [
+        [r["model"], r["batch"], round(r["pq_kib"]), round(r["fq_kib"]),
+         f"+{100 * (r['pq_over_fq'] - 1):.0f}%"]
+        for r in memory_table(configs, batches=(1, 4, 8), bits=args.bits)
+    ]
+    print(format_table(
+        ["model", "batch", "PQ KiB", "FQ KiB", "overhead"],
+        rows, title=f"Peak on-chip memory at {args.bits}-bit",
+    ))
+
+
+def cmd_inspect(args) -> None:
+    from .analysis import capture_figure3_tensors
+    from .quant import QUQQuantizer
+
+    model, _, calib, _ = _setup(args.model, 64)
+    tensors = capture_figure3_tensors(model, calib, block=args.block)
+    rows = []
+    for name, data in tensors.items():
+        quantizer = QUQQuantizer(args.bits).fit(data)
+        rows.append([name, quantizer.mode.value, quantizer.params.describe()])
+    print(format_table(["tensor", "mode", "parameters"], rows,
+                       title=f"QUQ parameters, block {args.block}"))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("zoo", help="train/load all mini models").set_defaults(fn=cmd_zoo)
+
+    quantize = commands.add_parser("quantize", help="quantize one model")
+    quantize.add_argument("model", choices=_TRAINABLE)
+    quantize.add_argument("--method", default="quq",
+                          choices=["baseq", "quq", "biscaled", "fqvit", "ptq4vit"])
+    quantize.add_argument("--bits", type=int, default=6)
+    quantize.add_argument("--coverage", default="full", choices=["partial", "full"])
+    quantize.add_argument("--no-hessian", action="store_true")
+    quantize.add_argument("--val", type=int, default=512)
+    quantize.set_defaults(fn=cmd_quantize)
+
+    export = commands.add_parser("export", help="export a QUQ artifact")
+    export.add_argument("model", choices=_TRAINABLE)
+    export.add_argument("output")
+    export.add_argument("--bits", type=int, default=6)
+    export.set_defaults(fn=cmd_export)
+
+    commands.add_parser("table4", help="accelerator area/power").set_defaults(fn=cmd_table4)
+
+    memory = commands.add_parser("memory", help="peak-memory table")
+    memory.add_argument("--bits", type=int, default=8)
+    memory.set_defaults(fn=cmd_memory)
+
+    inspect = commands.add_parser("inspect", help="QUQ parameter summary")
+    inspect.add_argument("model", choices=_TRAINABLE)
+    inspect.add_argument("--bits", type=int, default=4)
+    inspect.add_argument("--block", type=int, default=0)
+    inspect.set_defaults(fn=cmd_inspect)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    main()

@@ -1,0 +1,15 @@
+"""Synthetic dataset substrate (ImageNet stand-in)."""
+
+from .synthshapes import CLASS_NAMES, SynthShapes, denormalize, generate, make_splits, normalize
+from .loader import batches, calibration_set
+
+__all__ = [
+    "CLASS_NAMES",
+    "SynthShapes",
+    "generate",
+    "make_splits",
+    "normalize",
+    "denormalize",
+    "batches",
+    "calibration_set",
+]

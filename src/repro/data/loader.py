@@ -1,0 +1,35 @@
+"""Minibatch iteration over a :class:`~repro.data.synthshapes.SynthShapes` split."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .synthshapes import SynthShapes
+
+__all__ = ["batches", "calibration_set"]
+
+
+def batches(
+    dataset: SynthShapes,
+    batch_size: int,
+    shuffle: bool = False,
+    seed: int = 0,
+    drop_last: bool = False,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(images, labels)`` minibatches."""
+    count = len(dataset)
+    order = np.arange(count)
+    if shuffle:
+        np.random.default_rng(seed).shuffle(order)
+    for start in range(0, count, batch_size):
+        index = order[start : start + batch_size]
+        if drop_last and len(index) < batch_size:
+            return
+        yield dataset.images[index], dataset.labels[index]
+
+
+def calibration_set(dataset: SynthShapes, count: int = 32, seed: int = 7) -> np.ndarray:
+    """Draw the paper's calibration batch (32 training images by default)."""
+    return dataset.subset(count, seed=seed).images

@@ -1,0 +1,159 @@
+"""SynthShapes: a procedural image-classification dataset.
+
+Stands in for ImageNet in the accuracy experiments (no network access, so
+no real image data).  Ten shape/texture classes are rendered procedurally
+at 32x32 RGB with randomized color, position, scale, rotation-like jitter
+and background clutter, producing a task that is non-trivial for a small
+vision transformer yet learnable from a few thousand examples on one CPU
+core.
+
+Everything is generated deterministically from integer seeds, so the
+train/val splits, the 32-image calibration set and therefore every accuracy
+number in the benchmark harness are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CLASS_NAMES", "SynthShapes", "make_splits", "normalize", "denormalize"]
+
+CLASS_NAMES = (
+    "circle",
+    "square",
+    "triangle",
+    "cross",
+    "ring",
+    "h_stripes",
+    "v_stripes",
+    "checker",
+    "diagonal",
+    "dots",
+)
+
+_MEAN = np.float32(0.5)
+_STD = np.float32(0.25)
+
+
+def normalize(images: np.ndarray) -> np.ndarray:
+    """Map [0, 1] pixel values to the standardized network input range."""
+    return ((images - _MEAN) / _STD).astype(np.float32)
+
+
+def denormalize(images: np.ndarray) -> np.ndarray:
+    """Invert :func:`normalize` back to [0, 1] pixels (clipped)."""
+    return np.clip(images * _STD + _MEAN, 0.0, 1.0)
+
+
+def _coordinate_grid(size: int) -> tuple[np.ndarray, np.ndarray]:
+    axis = np.arange(size, dtype=np.float32)
+    return np.meshgrid(axis, axis, indexing="ij")
+
+
+def _render_mask(label: int, size: int, rng: np.random.Generator) -> np.ndarray:
+    """Render the foreground mask for one sample of class ``label``."""
+    yy, xx = _coordinate_grid(size)
+    cy = size / 2 + rng.uniform(-size / 6, size / 6)
+    cx = size / 2 + rng.uniform(-size / 6, size / 6)
+    radius = rng.uniform(size / 5, size / 3.2)
+    name = CLASS_NAMES[label]
+
+    if name == "circle":
+        return (yy - cy) ** 2 + (xx - cx) ** 2 <= radius**2
+    if name == "square":
+        return (np.abs(yy - cy) <= radius) & (np.abs(xx - cx) <= radius)
+    if name == "triangle":
+        inside = (yy >= cy - radius) & (yy <= cy + radius)
+        width = (yy - (cy - radius)) / 2.0
+        return inside & (np.abs(xx - cx) <= width)
+    if name == "cross":
+        arm = max(1.5, radius / 3.0)
+        horizontal = (np.abs(yy - cy) <= arm) & (np.abs(xx - cx) <= radius)
+        vertical = (np.abs(xx - cx) <= arm) & (np.abs(yy - cy) <= radius)
+        return horizontal | vertical
+    if name == "ring":
+        dist2 = (yy - cy) ** 2 + (xx - cx) ** 2
+        return (dist2 <= radius**2) & (dist2 >= (0.55 * radius) ** 2)
+    if name == "h_stripes":
+        period = rng.integers(3, 6)
+        return (yy.astype(np.int64) // period) % 2 == 0
+    if name == "v_stripes":
+        period = rng.integers(3, 6)
+        return (xx.astype(np.int64) // period) % 2 == 0
+    if name == "checker":
+        period = rng.integers(3, 6)
+        return ((yy.astype(np.int64) // period) + (xx.astype(np.int64) // period)) % 2 == 0
+    if name == "diagonal":
+        slope = rng.uniform(0.6, 1.6) * (1 if rng.random() < 0.5 else -1)
+        offset = rng.uniform(-size / 4, size / 4)
+        thickness = rng.uniform(2.0, 4.0)
+        return np.abs((yy - cy) - slope * (xx - cx) - offset) <= thickness
+    if name == "dots":
+        period = rng.integers(5, 8)
+        dot = rng.uniform(1.2, 2.2)
+        py = (yy + rng.uniform(0, period)) % period
+        px = (xx + rng.uniform(0, period)) % period
+        return (py - period / 2) ** 2 + (px - period / 2) ** 2 <= dot**2
+    raise ValueError(f"unknown class label {label}")
+
+
+def _render_image(label: int, size: int, rng: np.random.Generator) -> np.ndarray:
+    """Render one ``(size, size, 3)`` image in [0, 1]."""
+    background = rng.uniform(0.0, 0.35, size=(1, 1, 3)).astype(np.float32)
+    image = np.broadcast_to(background, (size, size, 3)).copy()
+    image += rng.normal(0.0, 0.04, size=image.shape).astype(np.float32)
+
+    foreground = rng.uniform(0.55, 1.0, size=3).astype(np.float32)
+    # Guarantee contrast against the background on at least one channel.
+    foreground[rng.integers(0, 3)] = 1.0
+    mask = _render_mask(label, size, rng)
+    image[mask] = foreground + rng.normal(0.0, 0.03, size=(int(mask.sum()), 3)).astype(
+        np.float32
+    )
+    return np.clip(image, 0.0, 1.0)
+
+
+@dataclass
+class SynthShapes:
+    """A rendered split of the dataset (normalized images + labels)."""
+
+    images: np.ndarray  # (N, size, size, 3), normalized float32
+    labels: np.ndarray  # (N,), int64
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def num_classes(self) -> int:
+        return len(CLASS_NAMES)
+
+    def subset(self, count: int, seed: int = 0) -> "SynthShapes":
+        """Deterministic random subset of ``count`` samples."""
+        if count > len(self):
+            raise ValueError(f"requested {count} of {len(self)} samples")
+        rng = np.random.default_rng(seed)
+        index = rng.choice(len(self), size=count, replace=False)
+        return SynthShapes(self.images[index], self.labels[index])
+
+
+def generate(count: int, size: int = 32, seed: int = 0) -> SynthShapes:
+    """Render ``count`` samples with balanced class coverage."""
+    rng = np.random.default_rng(seed)
+    labels = np.arange(count, dtype=np.int64) % len(CLASS_NAMES)
+    rng.shuffle(labels)
+    images = np.stack([_render_image(int(lbl), size, rng) for lbl in labels])
+    return SynthShapes(normalize(images), labels)
+
+
+def make_splits(
+    train_count: int = 4096,
+    val_count: int = 1024,
+    size: int = 32,
+    seed: int = 0,
+) -> tuple[SynthShapes, SynthShapes]:
+    """Deterministic train/val splits (different seeds, no overlap by draw)."""
+    train = generate(train_count, size=size, seed=seed)
+    val = generate(val_count, size=size, seed=seed + 1_000_003)
+    return train, val

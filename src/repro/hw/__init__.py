@@ -1,0 +1,54 @@
+"""Hardware models: QUA behavioral simulation, area/power, memory."""
+
+from .accelerator import QUA, EncodedTensor, encode_tensor, gemm_cycles
+from .executor import BlockExecutor, ModelExecutor
+from .int_sfu import i_exp, i_gelu, i_layernorm, i_softmax, i_sqrt
+from .area_power import AcceleratorSpec, AreaPowerReport, evaluate, table4
+from .gates import (
+    ENERGY_PER_GATE_PJ,
+    NAND2_AREA_UM2,
+    adder_gates,
+    leading_zero_detector_gates,
+    multiplier_gates,
+    mux_gates,
+    register_gates,
+    shifter_gates,
+)
+from .memory import (
+    BlockDataflow,
+    Op,
+    build_vit_block_dataflow,
+    memory_table,
+    peak_memory_bytes,
+)
+
+__all__ = [
+    "QUA",
+    "EncodedTensor",
+    "encode_tensor",
+    "gemm_cycles",
+    "BlockExecutor",
+    "ModelExecutor",
+    "i_exp",
+    "i_gelu",
+    "i_layernorm",
+    "i_softmax",
+    "i_sqrt",
+    "AcceleratorSpec",
+    "AreaPowerReport",
+    "evaluate",
+    "table4",
+    "NAND2_AREA_UM2",
+    "ENERGY_PER_GATE_PJ",
+    "multiplier_gates",
+    "adder_gates",
+    "register_gates",
+    "shifter_gates",
+    "mux_gates",
+    "leading_zero_detector_gates",
+    "BlockDataflow",
+    "Op",
+    "build_vit_block_dataflow",
+    "peak_memory_bytes",
+    "memory_table",
+]

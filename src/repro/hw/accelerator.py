@@ -1,0 +1,175 @@
+"""Behavioral model of the quadruplet uniform accelerator (QUA, Figure 6).
+
+Bit-exact simulation of the integer datapath:
+
+* **Decoding unit (DU)** — turns QUB bytes into ``(D, n_sh)`` per Eq. (6)-(7).
+* **PE array** — multiply-accumulate over decoded operands with the
+  product shift of Eq. (5); integer-only, verified to match the float GEMM
+  over dequantized values exactly.
+* **Quantization unit (QU)** — requantizes accumulator values into the
+  output tensor's QUQ parameters (the hardware performs the subrange
+  comparison with leading-zero/one detection; the behavioral model uses the
+  equivalent arithmetic comparison).
+* **Special function unit (SFU)** — decodes QUBs into plain integers
+  ``d = D << n_sh`` on its load path, then applies LayerNorm / Softmax /
+  GELU / addition at full precision (the paper streams these through the
+  same SFUs as a uniform-quantization accelerator).
+
+A simple weight-stationary cycle model rounds out the performance side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..quant.params import QUQParams
+from ..quant.qub import FCRegisters, decode, encode, legalize_for_hardware
+from ..quant.quq import QuantizedTensor, quantize_with_params
+from ..quant.relax import PRAConfig, progressive_relaxation
+
+__all__ = ["EncodedTensor", "encode_tensor", "QUA", "gemm_cycles"]
+
+
+@dataclass
+class EncodedTensor:
+    """A tensor in QUA wire format: QUB bytes + FC registers + base delta."""
+
+    qubs: np.ndarray
+    registers: FCRegisters
+    base_delta: float
+    bits: int
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.qubs.shape
+
+    def decoded(self) -> tuple[np.ndarray, np.ndarray]:
+        """Run the DU over every element: returns (D, n_sh)."""
+        return decode(self.qubs, self.registers, self.bits)
+
+    def transposed(self) -> "EncodedTensor":
+        """Swap the last two axes (a dataflow rearrangement, not arithmetic)."""
+        return EncodedTensor(
+            np.swapaxes(self.qubs, -1, -2), self.registers, self.base_delta, self.bits
+        )
+
+    def to_float(self) -> np.ndarray:
+        """SFU load path: d = D << n_sh, scaled by the base delta."""
+        d, n_sh = self.decoded()
+        return (d.astype(np.float64) * (1 << n_sh).astype(np.float64)) * self.base_delta
+
+
+def encode_tensor(
+    x: np.ndarray,
+    bits: int,
+    params: QUQParams | None = None,
+    config: PRAConfig | None = None,
+) -> EncodedTensor:
+    """Quantize ``x`` with (hardware-legal) QUQ parameters and encode it."""
+    if params is None:
+        params = progressive_relaxation(x, bits, config)
+    params = legalize_for_hardware(params)
+    qt = quantize_with_params(x, params)
+    qubs, registers = encode(qt)
+    return EncodedTensor(qubs, registers, params.base_delta, bits)
+
+
+class QUA:
+    """Quadruplet uniform accelerator: integer GEMM plus requantization."""
+
+    def __init__(self, array: int = 16):
+        if array < 1:
+            raise ValueError("PE array size must be >= 1")
+        self.array = array
+
+    # ------------------------------------------------------------------
+    def integer_gemm(self, x: EncodedTensor, w: EncodedTensor) -> np.ndarray:
+        """PE-array MAC: ``sum_k (Dx*Dw) << (nx+nw)``, int64 accumulators.
+
+        ``x`` is ``(..., M, K)``, ``w`` is ``(..., K, N)`` (batched GEMMs
+        broadcast like ``numpy.matmul``).  The shifted operands fit well
+        inside int64 (|D| < 2^(b-1), shifts <= 7 each), so the int64
+        matmul reproduces the hardware accumulation exactly.
+        """
+        w_rows = w.shape[0] if len(w.shape) == 1 else w.shape[-2]
+        if x.shape[-1] != w_rows:
+            raise ValueError(f"GEMM shape mismatch: {x.shape} @ {w.shape}")
+        dx, nx = x.decoded()
+        dw, nw = w.decoded()
+        shifted_x = dx << nx  # (Dx << nx); the split of the total shift
+        shifted_w = dw << nw  # between operands is mathematically free
+        return shifted_x @ shifted_w
+
+    def gemm(self, x: EncodedTensor, w: EncodedTensor) -> np.ndarray:
+        """Integer GEMM scaled back to real values (float64)."""
+        acc = self.integer_gemm(x, w)
+        return acc.astype(np.float64) * (x.base_delta * w.base_delta)
+
+    # ------------------------------------------------------------------
+    def requantize(
+        self, acc: np.ndarray, scale: float, out_params: QUQParams
+    ) -> QuantizedTensor:
+        """QU: map int accumulators into the output tensor's QUQ codes.
+
+        ``scale`` is ``delta_x * delta_w``.  The hardware selects the
+        output subrange by comparing the (shifted) accumulator against
+        power-of-two boundaries via leading-zero/one counts; arithmetically
+        that is exactly the subrange-assignment rule of Eq. (3), which the
+        behavioral model applies directly.
+        """
+        out_params = legalize_for_hardware(out_params)
+        values = acc.astype(np.float64) * scale
+        return quantize_with_params(values, out_params)
+
+    def gemm_requantized(
+        self, x: EncodedTensor, w: EncodedTensor, out_params: QUQParams
+    ) -> EncodedTensor:
+        """Full PE-array -> QU pipeline: GEMM then re-encode as QUBs."""
+        acc = self.integer_gemm(x, w)
+        qt = self.requantize(acc, x.base_delta * w.base_delta, out_params)
+        qubs, registers = encode(qt)
+        return EncodedTensor(qubs, registers, qt.params.base_delta, qt.params.bits)
+
+    # ------------------------------------------------------------------
+    def sfu(self, x: EncodedTensor, function: str, **kwargs) -> np.ndarray:
+        """SFU: decode on load, then apply the special function.
+
+        Supported functions: ``softmax`` (last axis), ``gelu``,
+        ``layernorm`` (last axis; pass ``weight``/``bias``), ``add``
+        (pass ``other`` as a second EncodedTensor).
+        """
+        values = x.to_float()
+        if function == "softmax":
+            shifted = values - values.max(axis=-1, keepdims=True)
+            exp = np.exp(shifted)
+            return exp / exp.sum(axis=-1, keepdims=True)
+        if function == "gelu":
+            from scipy.special import erf
+
+            return values * 0.5 * (1.0 + erf(values / np.sqrt(2.0)))
+        if function == "layernorm":
+            weight = kwargs.get("weight", 1.0)
+            bias = kwargs.get("bias", 0.0)
+            eps = kwargs.get("eps", 1e-6)
+            mean = values.mean(axis=-1, keepdims=True)
+            var = values.var(axis=-1, keepdims=True)
+            return (values - mean) / np.sqrt(var + eps) * weight + bias
+        if function == "add":
+            other: EncodedTensor = kwargs["other"]
+            return values + other.to_float()
+        raise ValueError(f"unknown SFU function {function!r}")
+
+
+def gemm_cycles(m: int, k: int, n: int, array: int) -> int:
+    """Weight-stationary cycle count for an ``(m,k) @ (k,n)`` GEMM.
+
+    Each weight tile of ``array x array`` stays resident while ``m``
+    activation rows stream through; tiles across K and N are serialized,
+    with an ``array``-cycle pipeline fill per tile.
+    """
+    if min(m, k, n, array) < 1:
+        raise ValueError("all GEMM dimensions must be positive")
+    tiles = int(np.ceil(k / array)) * int(np.ceil(n / array))
+    return tiles * (m + array)

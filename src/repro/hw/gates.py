@@ -1,0 +1,77 @@
+"""Gate-level cost primitives for the analytical area/power model.
+
+Component costs are expressed in NAND2-equivalent gate counts using the
+standard structural estimates (array multiplier ~ b^2 full-adder cells,
+ripple/carry-select adders ~ 7 gates/bit, DFF ~ 7 gates, barrel shifter ~
+3 gates per bit per stage).  The 28 nm technology constants
+(:data:`NAND2_AREA_UM2`, :data:`ENERGY_PER_GATE_PJ`) are calibrated so the
+BaseQ design points land near Table 4 of the paper; all *relative* results
+(QUQ vs BaseQ overheads) then follow from the component inventory alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "NAND2_AREA_UM2",
+    "ENERGY_PER_GATE_PJ",
+    "multiplier_gates",
+    "adder_gates",
+    "register_gates",
+    "shifter_gates",
+    "mux_gates",
+    "leading_zero_detector_gates",
+]
+
+#: NAND2-equivalent cell area at 28 nm, including placement overhead (um^2).
+#: Calibrated so the BaseQ 6-bit 16x16 design point matches Table 4.
+NAND2_AREA_UM2 = 0.63
+
+#: Average switching energy per gate per clock at 28 nm, 0.9 V (pJ),
+#: before the per-component activity factor is applied.  Calibrated against
+#: the same Table 4 anchor.
+ENERGY_PER_GATE_PJ = 0.00094
+
+
+def multiplier_gates(bits_a: int, bits_b: int) -> float:
+    """Signed array multiplier: ~one full-adder cell per partial-product bit."""
+    if bits_a < 1 or bits_b < 1:
+        raise ValueError("multiplier operand widths must be positive")
+    return 6.0 * bits_a * bits_b
+
+
+def adder_gates(width: int) -> float:
+    """Carry-propagate adder, ~7 NAND2 per full-adder stage."""
+    if width < 1:
+        raise ValueError("adder width must be positive")
+    return 7.0 * width
+
+
+def register_gates(width: int) -> float:
+    """DFF-based register, ~7 NAND2 per flip-flop."""
+    if width < 1:
+        raise ValueError("register width must be positive")
+    return 7.0 * width
+
+
+def shifter_gates(width: int, max_shift: int) -> float:
+    """Logarithmic barrel shifter: one 2:1 mux per bit per stage."""
+    if width < 1 or max_shift < 1:
+        raise ValueError("shifter width and range must be positive")
+    stages = int(np.ceil(np.log2(max_shift + 1)))
+    return 3.0 * width * stages
+
+
+def mux_gates(width: int, ways: int = 2) -> float:
+    """N:1 multiplexer."""
+    if ways < 2:
+        raise ValueError("mux needs at least 2 ways")
+    return 3.0 * width * (ways - 1)
+
+
+def leading_zero_detector_gates(width: int) -> float:
+    """Leading-zero/one detector used by the quantization unit."""
+    if width < 2:
+        raise ValueError("LZD width must be >= 2")
+    return 2.5 * width

@@ -1,0 +1,149 @@
+"""Integer-only special functions (the I-BERT / I-ViT lineage).
+
+Section 4.2 of the QUQ paper streams decoded integers through the same
+SFUs as an integer-only uniform-quantization accelerator [I-BERT, I-ViT].
+This module provides those integer-only kernels so the SFU path can be
+simulated without any floating-point arithmetic:
+
+* :func:`i_exp` / :func:`i_softmax` — I-BERT's polynomial exp on integers
+  (range-reduced by ``ln 2``; second-order polynomial), softmax normalized
+  with an integer reciprocal.
+* :func:`i_gelu` — I-BERT's integer GELU via a second-order polynomial
+  approximation of ``erf``.
+* :func:`i_layernorm` — integer mean/variance with a Newton-style integer
+  square root.
+* :func:`i_sqrt` — integer Newton iteration used by i_layernorm.
+
+All kernels take integer tensors ``q`` with a scale ``s`` (value =
+``q * s``) and return ``(q_out, s_out)``.  They are validated against the
+float reference in the test suite; the accuracy ablation bench measures
+their end-to-end cost on a quantized model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["i_sqrt", "i_exp", "i_softmax", "i_gelu", "i_layernorm"]
+
+_LN2 = float(np.log(2.0))
+
+# I-BERT's second-order polynomial coefficients.
+_EXP_A, _EXP_B, _EXP_C = 0.3585, 1.353, 0.344
+_ERF_A, _ERF_B, _ERF_C = -0.2888, -1.769, 1.0
+
+
+def i_sqrt(n: np.ndarray) -> np.ndarray:
+    """Integer square root by Newton iteration (floor of the true root)."""
+    n = np.asarray(n, dtype=np.int64)
+    if (n < 0).any():
+        raise ValueError("i_sqrt requires non-negative inputs")
+    x = np.where(n > 0, np.int64(1) << ((_bit_length(n) + 1) // 2), 0)
+    for _ in range(20):
+        positive = x > 0
+        new_x = np.where(positive, (x + np.floor_divide(n, np.maximum(x, 1))) // 2, 0)
+        if (new_x >= x).all():
+            break
+        x = np.where(new_x < x, new_x, x)
+    return x
+
+
+def _bit_length(n: np.ndarray) -> np.ndarray:
+    n = np.maximum(np.asarray(n, dtype=np.int64), 1)
+    return np.floor(np.log2(n)).astype(np.int64) + 1
+
+
+def _i_poly(q: np.ndarray, s: float, a: float, b: float, c: float) -> tuple[np.ndarray, float]:
+    """Integer evaluation of ``a*(x + b)^2 + c`` at ``x = q*s``."""
+    q_b = np.int64(np.floor(b / s))
+    q_c = np.int64(np.floor(c / (a * s * s)))
+    q_out = (q + q_b) ** 2 + q_c
+    return q_out, a * s * s
+
+
+def i_exp(q: np.ndarray, s: float) -> tuple[np.ndarray, float]:
+    """Integer exp for non-positive inputs (I-BERT Algorithm: exp-shift).
+
+    Decomposes ``x = (-z) * ln2 + p`` with ``p in (-ln2, 0]``, evaluates the
+    polynomial at ``p`` and shifts right by ``z``.
+    """
+    q = np.asarray(q, dtype=np.int64)
+    if (q > 0).any():
+        raise ValueError("i_exp expects non-positive inputs (pre-shifted by max)")
+    q_ln2 = np.int64(np.floor(_LN2 / s))
+    z = np.floor_divide(-q, q_ln2)
+    q_p = q + z * q_ln2  # p/s, in (-ln2/s, 0]
+    q_l, s_l = _i_poly(q_p, s, _EXP_A, _EXP_B, _EXP_C)
+    # exp(x) ~ poly(p) >> z; keep precision by scaling into a fixed budget.
+    z = np.minimum(z, 62)
+    q_out = np.floor_divide(q_l, np.int64(1) << z)
+    return q_out, s_l
+
+
+def i_softmax(q: np.ndarray, s: float, axis: int = -1, out_bits: int = 16) -> tuple[np.ndarray, float]:
+    """Integer-only softmax over ``axis``.
+
+    Returns codes in ``[0, 2^out_bits - 1]`` with scale ``2^-out_bits``
+    (probabilities).
+    """
+    q = np.asarray(q, dtype=np.int64)
+    shifted = q - q.max(axis=axis, keepdims=True)
+    q_exp, _ = i_exp(shifted, s)
+    total = q_exp.sum(axis=axis, keepdims=True)
+    scale_out = 2.0**-out_bits
+    factor = np.int64(2**out_bits)
+    q_out = np.floor_divide(q_exp * factor, np.maximum(total, 1))
+    return q_out, scale_out
+
+
+def i_gelu(q: np.ndarray, s: float) -> tuple[np.ndarray, float]:
+    """Integer-only GELU: ``x * (1 + erf(x/sqrt2)) / 2`` with polynomial erf."""
+    q = np.asarray(q, dtype=np.int64)
+    s_erf_in = s / np.sqrt(2.0)
+    # erf is odd: evaluate the polynomial on |x| clipped to [0, -b], where
+    # erf(|x|) ~ a*(|x| + b)^2 + c (I-BERT's fit; note a < 0 makes the
+    # polynomial's output scale negative, which the integer pipeline
+    # carries through consistently).
+    q_abs = np.abs(q)
+    q_clip = np.minimum(q_abs, np.int64(np.floor(-_ERF_B / s_erf_in)))
+    q_l, s_l = _i_poly(q_clip, s_erf_in, _ERF_A, _ERF_B, _ERF_C)
+    q_erf = np.sign(q) * q_l
+    # 1 + erf in the same scale:
+    q_one = np.int64(np.floor(1.0 / s_l))
+    q_sum = q_erf + q_one
+    q_out = q * q_sum
+    return q_out, s * s_l / 2.0
+
+
+def i_layernorm(
+    q: np.ndarray,
+    s: float,
+    weight: np.ndarray | None = None,
+    bias: np.ndarray | None = None,
+    out_bits: int = 8,
+) -> tuple[np.ndarray, float]:
+    """Integer-only LayerNorm over the last axis.
+
+    Mean and variance are computed in integers; the inverse standard
+    deviation uses :func:`i_sqrt` on a fixed-point variance.  The affine
+    parameters (float) are folded in through a single requantization step,
+    as an accelerator would via its output scale.
+    """
+    q = np.asarray(q, dtype=np.int64)
+    n = q.shape[-1]
+    mean = np.floor_divide(q.sum(axis=-1, keepdims=True), n)
+    centered = q - mean
+    var = np.floor_divide((centered * centered).sum(axis=-1, keepdims=True), n)
+    std = np.maximum(i_sqrt(var), 1)
+    # Normalized value in Q(out_bits) fixed point.
+    factor = np.int64(1) << out_bits
+    normalized = np.floor_divide(centered * factor, std)
+    s_out = 2.0**-out_bits
+    if weight is not None:
+        q_w = np.rint(np.asarray(weight, dtype=np.float64) / s_out).astype(np.int64)
+        normalized = np.floor_divide(normalized * q_w, factor)
+    if bias is not None:
+        normalized = normalized + np.rint(
+            np.asarray(bias, dtype=np.float64) / s_out
+        ).astype(np.int64)
+    return normalized, s_out

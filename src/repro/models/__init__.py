@@ -1,0 +1,38 @@
+"""Vision transformer model substrate (ViT, DeiT, Swin)."""
+
+from .configs import (
+    MINI_CONFIGS,
+    MINI_FOR_PAPER,
+    PAPER_CONFIGS,
+    ModelConfig,
+    SwinConfig,
+    get_config,
+)
+from .cnn import CNN_MINI, CNNConfig, MiniConvNet, build_cnn
+from .vit import VisionTransformer, build_vit
+from .swin import PatchMerging, SwinBlock, SwinTransformer, WindowAttention, build_swin
+from .zoo import DATASET_SPEC, build_model, cache_dir, get_trained_model
+
+__all__ = [
+    "ModelConfig",
+    "SwinConfig",
+    "MINI_CONFIGS",
+    "PAPER_CONFIGS",
+    "MINI_FOR_PAPER",
+    "get_config",
+    "VisionTransformer",
+    "build_vit",
+    "CNNConfig",
+    "CNN_MINI",
+    "MiniConvNet",
+    "build_cnn",
+    "SwinTransformer",
+    "SwinBlock",
+    "WindowAttention",
+    "PatchMerging",
+    "build_swin",
+    "build_model",
+    "get_trained_model",
+    "cache_dir",
+    "DATASET_SPEC",
+]

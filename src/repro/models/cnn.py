@@ -1,0 +1,67 @@
+"""A small convolutional classifier (the paper's "other NN models" claim).
+
+The conclusion of the QUQ paper argues the scheme is "inherently capable of
+effectively quantizing the other NN models" and notes BiScaled-FxP's home
+turf is CNNs.  This model provides the substrate for that experiment: a
+compact channels-last ConvNet whose convolutions lower to GEMMs, so the
+standard tap-based PTQ pipeline (and every quantization method in the
+library) applies without modification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import Tensor, gelu
+from ..nn import Linear, Module, ModuleList
+from ..nn.conv import Conv2d, GlobalAveragePool
+
+__all__ = ["CNNConfig", "MiniConvNet", "build_cnn", "CNN_MINI"]
+
+
+@dataclass(frozen=True)
+class CNNConfig:
+    name: str
+    image_size: int
+    in_channels: int
+    num_classes: int
+    channels: tuple[int, ...]  # per stage; stride 2 between stages
+    family: str = "cnn"
+
+
+CNN_MINI = CNNConfig("cnn_mini", 32, 3, 10, (16, 32, 64))
+
+
+class MiniConvNet(Module):
+    """Conv stages (stride-2 downsampling) -> GAP -> Linear classifier."""
+
+    def __init__(self, config: CNNConfig, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.config = config
+        self.convs = ModuleList()
+        previous = config.in_channels
+        for index, channels in enumerate(config.channels):
+            stride = 1 if index == 0 else 2
+            self.convs.append(
+                Conv2d(previous, channels, kernel_size=3, stride=stride,
+                       padding=1, rng=rng)
+            )
+            previous = channels
+        self.pool = GlobalAveragePool()
+        self.head = Linear(previous, config.num_classes, rng=rng)
+        self.assign_tap_names(prefix=f"{config.name}.")
+
+    def forward(self, images: Tensor) -> Tensor:
+        x = images
+        for conv in self.convs:
+            x = conv(x)
+            x = conv.tap("act.input", x)  # GELU input (red tap)
+            x = gelu(x)
+        return self.head(self.pool(x))
+
+
+def build_cnn(config: CNNConfig = CNN_MINI, seed: int = 0) -> MiniConvNet:
+    return MiniConvNet(config, seed=seed)

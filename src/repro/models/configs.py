@@ -1,0 +1,136 @@
+"""Model configuration registry.
+
+Two families of configurations coexist:
+
+* ``PAPER_CONFIGS`` — the geometry of the models the paper evaluates
+  (ViT-S/L, DeiT-S/B, Swin-T/S on 224x224 ImageNet).  These are *not*
+  instantiated as trainable networks here (no pretrained weights are
+  available offline); they drive the peak-memory simulation of Figure 2 and
+  the hardware sizing discussion, where only tensor shapes matter.
+* ``MINI_CONFIGS`` — downscaled but architecturally faithful counterparts
+  (32x32 inputs, SynthShapes classes) that are trained from scratch and used
+  for every accuracy experiment (Tables 1-3, Figures 3 and 7).  Each paper
+  model maps to a mini model of the same family with the same small-vs-large
+  relationship preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ModelConfig",
+    "SwinConfig",
+    "PAPER_CONFIGS",
+    "MINI_CONFIGS",
+    "MINI_FOR_PAPER",
+    "get_config",
+]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Geometry of a columnar (ViT/DeiT) transformer."""
+
+    name: str
+    family: str  # "vit" or "deit"
+    image_size: int
+    patch_size: int
+    in_channels: int
+    num_classes: int
+    embed_dim: int
+    depth: int
+    num_heads: int
+    mlp_ratio: float = 4.0
+    distilled: bool = False
+
+    @property
+    def num_patches(self) -> int:
+        return (self.image_size // self.patch_size) ** 2
+
+    @property
+    def num_tokens(self) -> int:
+        return self.num_patches + 1 + (1 if self.distilled else 0)
+
+
+@dataclass(frozen=True)
+class SwinConfig:
+    """Geometry of a hierarchical (Swin) transformer."""
+
+    name: str
+    image_size: int
+    patch_size: int
+    in_channels: int
+    num_classes: int
+    embed_dim: int
+    depths: tuple[int, ...]
+    num_heads: tuple[int, ...]
+    window_size: int
+    mlp_ratio: float = 4.0
+    family: str = field(default="swin")
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.depths)
+
+    def stage_resolution(self, stage: int) -> int:
+        return self.image_size // self.patch_size // (2**stage)
+
+    def stage_dim(self, stage: int) -> int:
+        return self.embed_dim * (2**stage)
+
+
+# ----------------------------------------------------------------------
+# Paper-scale geometry (ImageNet models in Tables 2/3 and Figure 2)
+# ----------------------------------------------------------------------
+PAPER_CONFIGS: dict[str, ModelConfig | SwinConfig] = {
+    "vit_s": ModelConfig("vit_s", "vit", 224, 16, 3, 1000, 384, 12, 6),
+    "vit_b": ModelConfig("vit_b", "vit", 224, 16, 3, 1000, 768, 12, 12),
+    "vit_l": ModelConfig("vit_l", "vit", 224, 16, 3, 1000, 1024, 24, 16),
+    "deit_s": ModelConfig("deit_s", "deit", 224, 16, 3, 1000, 384, 12, 6, distilled=True),
+    "deit_b": ModelConfig("deit_b", "deit", 224, 16, 3, 1000, 768, 12, 12, distilled=True),
+    "swin_t": SwinConfig("swin_t", 224, 4, 3, 1000, 96, (2, 2, 6, 2), (3, 6, 12, 24), 7),
+    "swin_s": SwinConfig("swin_s", 224, 4, 3, 1000, 96, (2, 2, 18, 2), (3, 6, 12, 24), 7),
+}
+
+# ----------------------------------------------------------------------
+# Mini trainable counterparts (SynthShapes, 32x32, 10 classes)
+# ----------------------------------------------------------------------
+_NUM_CLASSES = 10
+
+MINI_CONFIGS: dict[str, ModelConfig | SwinConfig] = {
+    "vit_mini_s": ModelConfig("vit_mini_s", "vit", 32, 4, 3, _NUM_CLASSES, 64, 4, 4),
+    "vit_mini_l": ModelConfig("vit_mini_l", "vit", 32, 4, 3, _NUM_CLASSES, 128, 6, 8),
+    "deit_mini_s": ModelConfig(
+        "deit_mini_s", "deit", 32, 4, 3, _NUM_CLASSES, 64, 4, 4, distilled=True
+    ),
+    "deit_mini_b": ModelConfig(
+        "deit_mini_b", "deit", 32, 4, 3, _NUM_CLASSES, 96, 5, 6, distilled=True
+    ),
+    "swin_mini_t": SwinConfig(
+        "swin_mini_t", 32, 4, 3, _NUM_CLASSES, 32, (2, 2), (2, 4), 4
+    ),
+    "swin_mini_s": SwinConfig(
+        "swin_mini_s", 32, 4, 3, _NUM_CLASSES, 48, (2, 4), (3, 6), 4
+    ),
+}
+
+#: Which mini model stands in for which paper model in the accuracy tables.
+MINI_FOR_PAPER: dict[str, str] = {
+    "vit_s": "vit_mini_s",
+    "vit_l": "vit_mini_l",
+    "deit_s": "deit_mini_s",
+    "deit_b": "deit_mini_b",
+    "swin_t": "swin_mini_t",
+    "swin_s": "swin_mini_s",
+}
+
+
+def get_config(name: str) -> ModelConfig | SwinConfig:
+    """Look up a config by name across both registries."""
+    if name in MINI_CONFIGS:
+        return MINI_CONFIGS[name]
+    if name in PAPER_CONFIGS:
+        return PAPER_CONFIGS[name]
+    known = sorted(MINI_CONFIGS) + sorted(PAPER_CONFIGS)
+    raise KeyError(f"unknown model config {name!r}; known: {known}")

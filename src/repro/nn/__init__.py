@@ -1,0 +1,34 @@
+"""Neural-network layer library built on :mod:`repro.autograd`."""
+
+from .module import Module, ModuleList, Parameter, Sequential, TapDispatcher
+from .linear import Linear
+from .norm import LayerNorm
+from .activations import GELU, Dropout, ReLU, Softmax
+from .attention import Mlp, MultiHeadSelfAttention, TransformerBlock
+from .conv import Conv2d, GlobalAveragePool
+from .embedding import PatchEmbedding
+from .losses import CrossEntropyLoss, cross_entropy
+from . import init
+
+__all__ = [
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "TapDispatcher",
+    "Linear",
+    "LayerNorm",
+    "GELU",
+    "Dropout",
+    "ReLU",
+    "Softmax",
+    "Mlp",
+    "MultiHeadSelfAttention",
+    "TransformerBlock",
+    "Conv2d",
+    "GlobalAveragePool",
+    "PatchEmbedding",
+    "CrossEntropyLoss",
+    "cross_entropy",
+    "init",
+]

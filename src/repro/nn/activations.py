@@ -1,0 +1,55 @@
+"""Activation modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, gelu, relu, softmax
+from .module import Module
+
+__all__ = ["GELU", "ReLU", "Softmax", "Dropout"]
+
+
+class GELU(Module):
+    """Exact (erf-based) Gaussian error linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.tap("input", x)
+        return gelu(x)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return relu(x)
+
+
+class Softmax(Module):
+    def __init__(self, axis: int = -1):
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.tap("input", x)
+        return softmax(x, axis=self.axis)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode.
+
+    Takes an explicit generator at construction so training runs are
+    reproducible.
+    """
+
+    def __init__(self, p: float = 0.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        return x * Tensor(mask)

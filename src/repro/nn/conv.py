@@ -1,0 +1,61 @@
+"""Convolution layer (the paper's conclusion: QUQ extends beyond ViTs).
+
+Implemented as im2col + Linear, the lowering an accelerator like the QUA
+uses anyway: the inner projection's taps (``proj.weight`` / ``proj.input``)
+are ordinary GEMM taps, so the whole PTQ pipeline (partial/full coverage,
+every method) applies to CNNs unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, unfold_windows
+from .linear import Linear
+from .module import Module
+
+__all__ = ["Conv2d", "GlobalAveragePool"]
+
+
+class Conv2d(Module):
+    """2-D convolution over ``(B, H, W, C)`` tensors (channels-last)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if kernel_size < 1 or stride < 1 or padding < 0:
+            raise ValueError("kernel_size/stride must be >= 1 and padding >= 0")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.proj = Linear(
+            kernel_size * kernel_size * in_channels, out_channels, bias=bias, rng=rng
+        )
+
+    def output_size(self, size: int) -> int:
+        return (size + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, h, w, c = x.shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {c}")
+        windows = unfold_windows(x, self.kernel_size, self.stride, self.padding)
+        out = self.proj(windows)
+        return out.reshape(b, self.output_size(h), self.output_size(w), self.out_channels)
+
+
+class GlobalAveragePool(Module):
+    """Average over the spatial dims: ``(B, H, W, C) -> (B, C)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(1, 2))

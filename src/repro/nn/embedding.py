@@ -1,0 +1,43 @@
+"""Patch embedding for vision transformers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, unfold_patches
+from .linear import Linear
+from .module import Module
+
+__all__ = ["PatchEmbedding"]
+
+
+class PatchEmbedding(Module):
+    """Split ``(B, H, W, C)`` images into patches and project to ``dim``.
+
+    Equivalent to the strided-convolution stem of ViT: patch extraction is
+    a reshape, the projection is a Linear layer (so its weight/input flow
+    through the standard quantization taps).
+    """
+
+    def __init__(
+        self,
+        image_size: int,
+        patch_size: int,
+        in_channels: int,
+        dim: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if image_size % patch_size:
+            raise ValueError(
+                f"image size {image_size} not divisible by patch size {patch_size}"
+            )
+        self.image_size = image_size
+        self.patch_size = patch_size
+        self.grid_size = image_size // patch_size
+        self.num_patches = self.grid_size**2
+        self.proj = Linear(patch_size * patch_size * in_channels, dim, rng=rng)
+
+    def forward(self, images: Tensor) -> Tensor:
+        patches = unfold_patches(images, self.patch_size)
+        return self.proj(patches)

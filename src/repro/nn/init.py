@@ -1,0 +1,45 @@
+"""Weight initializers used by the transformer models.
+
+All initializers take an explicit ``numpy.random.Generator`` so model
+construction is fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["trunc_normal", "xavier_uniform", "zeros", "ones"]
+
+
+def trunc_normal(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    std: float = 0.02,
+    bound: float = 2.0,
+) -> np.ndarray:
+    """Truncated normal init (the ViT/DeiT default), +/- ``bound`` sigma."""
+    out = rng.normal(0.0, std, size=shape)
+    limit = bound * std
+    # Resample out-of-bound draws; a couple of rounds is enough in practice,
+    # clip as a final guarantee.
+    for _ in range(4):
+        mask = np.abs(out) > limit
+        if not mask.any():
+            break
+        out[mask] = rng.normal(0.0, std, size=int(mask.sum()))
+    return np.clip(out, -limit, limit).astype(np.float32)
+
+
+def xavier_uniform(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot uniform init for a ``(fan_in, fan_out)`` weight matrix."""
+    fan_in, fan_out = shape[0], shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

@@ -1,0 +1,41 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from .init import trunc_normal, zeros
+from .module import Module, Parameter
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b`` with weight shape ``(in, out)``.
+
+    The weight is stored input-major so a GEMM on the accelerator maps
+    directly onto ``x @ W`` without transposition.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(trunc_normal((in_features, out_features), rng))
+        self.bias = Parameter(zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        weight = self.tap("weight", self.weight)
+        x = self.tap("input", x)
+        out = x @ weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out

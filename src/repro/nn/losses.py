@@ -1,0 +1,31 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, log_softmax
+
+__all__ = ["cross_entropy", "CrossEntropyLoss"]
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, label_smoothing: float = 0.0) -> Tensor:
+    """Mean cross entropy between ``(B, C)`` logits and integer targets."""
+    targets = np.asarray(targets)
+    batch, classes = logits.shape
+    log_probs = log_softmax(logits, axis=-1)
+    one_hot = np.zeros((batch, classes), dtype=np.float32)
+    one_hot[np.arange(batch), targets] = 1.0
+    if label_smoothing > 0.0:
+        one_hot = one_hot * (1.0 - label_smoothing) + label_smoothing / classes
+    return -(log_probs * Tensor(one_hot)).sum() * (1.0 / batch)
+
+
+class CrossEntropyLoss:
+    """Callable wrapper for :func:`cross_entropy`."""
+
+    def __init__(self, label_smoothing: float = 0.0):
+        self.label_smoothing = label_smoothing
+
+    def __call__(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return cross_entropy(logits, targets, label_smoothing=self.label_smoothing)

@@ -1,0 +1,27 @@
+"""Layer normalization."""
+
+from __future__ import annotations
+
+from ..autograd import Tensor, layer_norm
+from .init import ones, zeros
+from .module import Module, Parameter
+
+__all__ = ["LayerNorm"]
+
+
+class LayerNorm(Module):
+    """LayerNorm over the last dimension with learnable affine."""
+
+    def __init__(self, dim: int, eps: float = 1e-6):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(ones((dim,)))
+        self.bias = Parameter(zeros((dim,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        # No tap here: in the transformer dataflow the LayerNorm input is
+        # the same stored tensor as the residual stream, which the blocks
+        # already tap (block_input / mid_input).  Standalone LayerNorms
+        # (final norm, patch merging) tap explicitly at their call sites.
+        return layer_norm(x, self.weight, self.bias, eps=self.eps)

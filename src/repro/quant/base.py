@@ -1,0 +1,43 @@
+"""Quantizer protocol shared by QUQ and every baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Quantizer"]
+
+
+class Quantizer:
+    """A post-training quantizer for one tensor (weight or activation).
+
+    Life cycle: construct with a bit-width, :meth:`fit` on calibration data,
+    then :meth:`fake_quantize` during inference (quantize-dequantize round
+    trip in float, the standard PTQ simulation).  Implementations that
+    support a real integer datapath also expose ``quantize``/``dequantize``.
+    """
+
+    def __init__(self, bits: int):
+        if bits < 2:
+            raise ValueError(f"bit-width must be >= 2, got {bits}")
+        self.bits = bits
+        self.fitted = False
+
+    def fit(self, x: np.ndarray) -> "Quantizer":
+        """Choose quantization parameters from calibration tensor ``x``."""
+        raise NotImplementedError
+
+    def fake_quantize(self, x: np.ndarray) -> np.ndarray:
+        """Quantize-dequantize ``x`` (same shape, discretized values)."""
+        raise NotImplementedError
+
+    def bits_per_element(self) -> float:
+        """Storage cost of one quantized element, in bits.
+
+        Used by the memory accounting; schemes with side tables (e.g.
+        BiScaled-FxP's outlier index) report their amortized overhead here.
+        """
+        return float(self.bits)
+
+    def _require_fitted(self) -> None:
+        if not self.fitted:
+            raise RuntimeError(f"{type(self).__name__} used before fit()")

@@ -1,0 +1,7 @@
+"""Baseline quantization schemes the paper compares against."""
+
+from .biscaled import BiScaledQuantizer
+from .fqvit import Log2Quantizer
+from .ptq4vit import TwinUniformQuantizer
+
+__all__ = ["BiScaledQuantizer", "Log2Quantizer", "TwinUniformQuantizer"]

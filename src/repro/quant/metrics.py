@@ -1,0 +1,35 @@
+"""Quantization-error metrics (Table 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse", "sqnr_db", "cosine_similarity"]
+
+
+def mse(original: np.ndarray, quantized: np.ndarray) -> float:
+    """Mean squared error between a tensor and its quantized version."""
+    original = np.asarray(original, dtype=np.float64)
+    quantized = np.asarray(quantized, dtype=np.float64)
+    if original.shape != quantized.shape:
+        raise ValueError(f"shape mismatch: {original.shape} vs {quantized.shape}")
+    return float(np.mean((original - quantized) ** 2))
+
+
+def sqnr_db(original: np.ndarray, quantized: np.ndarray) -> float:
+    """Signal-to-quantization-noise ratio in dB (higher is better)."""
+    signal = float(np.mean(np.asarray(original, dtype=np.float64) ** 2))
+    noise = mse(original, quantized)
+    if noise == 0:
+        return float("inf")
+    return float(10.0 * np.log10(signal / noise)) if signal > 0 else float("-inf")
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity between two flattened tensors."""
+    a = np.asarray(a, dtype=np.float64).reshape(-1)
+    b = np.asarray(b, dtype=np.float64).reshape(-1)
+    denom = np.linalg.norm(a) * np.linalg.norm(b)
+    if denom == 0:
+        return 1.0 if np.allclose(a, b) else 0.0
+    return float(a @ b / denom)

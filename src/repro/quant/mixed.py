@@ -1,0 +1,104 @@
+"""Mixed-precision bit allocation over QUQ taps (extension experiment).
+
+The paper quantizes every tensor at one bit-width.  A natural extension —
+enabled by QUQ's constant per-tensor side information — is to spend bits
+where they matter: starting from a low-precision configuration, repeatedly
+promote the most sensitive tap to the next bit-width until an average-bits
+budget is exhausted.  Sensitivities come from
+:func:`repro.analysis.sensitivity.tap_sensitivity`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .qmodel import PTQPipeline, make_quantizer
+from .observers import classify_tap
+
+__all__ = ["allocate_mixed_precision"]
+
+
+def allocate_mixed_precision(
+    pipeline: PTQPipeline,
+    sensitivities: dict[str, float],
+    budget_bits: float,
+    calib_images: np.ndarray,
+    bit_choices: tuple[int, ...] = (4, 6, 8),
+) -> dict[str, int]:
+    """Assign a bit-width per tap under a mean-bits budget.
+
+    Greedy promotion: all taps start at ``min(bit_choices)``; while the
+    average assigned width stays below ``budget_bits``, the tap with the
+    highest remaining sensitivity is promoted one step.  Returns the
+    allocation and refits the pipeline's quantizers in place.
+    """
+    if not pipeline.calibrated:
+        raise RuntimeError("calibrate the pipeline first")
+    choices = sorted(bit_choices)
+    if not choices:
+        raise ValueError("bit_choices must not be empty")
+    if not choices[0] <= budget_bits <= choices[-1]:
+        raise ValueError(
+            f"budget {budget_bits} outside achievable range {choices[0]}..{choices[-1]}"
+        )
+
+    taps = sorted(pipeline.env.quantizers)
+    allocation = {name: choices[0] for name in taps}
+    # Promotion priority: sensitivity, highest first, re-queued per level.
+    order = sorted(taps, key=lambda n: sensitivities.get(n, 0.0), reverse=True)
+
+    def average() -> float:
+        return float(np.mean([allocation[name] for name in taps]))
+
+    level = 0
+    while level < len(choices) - 1:
+        promoted_any = False
+        for name in order:
+            if allocation[name] != choices[level]:
+                continue
+            step = choices[level + 1] - choices[level]
+            if average() + step / len(taps) > budget_bits + 1e-9:
+                continue
+            allocation[name] = choices[level + 1]
+            promoted_any = True
+        if not promoted_any:
+            break
+        level += 1
+
+    # Refit every quantizer at its assigned width.
+    _refit(pipeline, allocation, calib_images)
+    return allocation
+
+
+def _refit(
+    pipeline: PTQPipeline, allocation: dict[str, int], calib_images: np.ndarray
+) -> None:
+    """Refit the pipeline's quantizers at per-tap bit-widths."""
+    from ..autograd import Tensor, no_grad
+
+    env = pipeline.env
+    activation_taps = [
+        n for n in allocation if not n.endswith(".weight")
+    ]
+    env.phase = "observe"
+    env.watched = set(activation_taps)
+    env.clear_observations()
+    with no_grad():
+        pipeline.model(Tensor(calib_images))
+
+    parameters = dict(pipeline.model.named_parameters())
+    new_quantizers = {}
+    for name, bits in allocation.items():
+        quantizer = make_quantizer(
+            pipeline.method, classify_tap(name), name, bits, pipeline.pra_config
+        )
+        if name.endswith(".weight"):
+            param_name = name.split(".", 1)[1] if "." in name else name
+            data = parameters[param_name].data
+        else:
+            data = env.observed(name)
+        new_quantizers[name] = quantizer.fit(data)
+    env.quantizers = new_quantizers
+    env.phase = "quantize"
+    env.watched = None
+    env.clear_observations()

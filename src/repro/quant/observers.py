@@ -1,0 +1,145 @@
+"""Tap classification and calibration observation.
+
+The models route every activation through named taps (see
+:mod:`repro.nn.module`).  This module classifies each tap into the
+dataflow categories of Figure 1 — which determines whether *partial*
+quantization covers it — and provides the :class:`QuantEnv` dispatcher
+that first records calibration tensors at each tap and later rewrites
+activations through fitted quantizers.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from ..autograd import Tensor, is_grad_enabled, straight_through
+from ..nn.module import TapDispatcher
+from .base import Quantizer
+
+__all__ = ["TapKind", "classify_tap", "taps_for_coverage", "QuantEnv"]
+
+
+class TapKind(Enum):
+    """Dataflow category of a tap, following Figure 1's color coding."""
+
+    WEIGHT = "weight"  # green: GEMM weights
+    GEMM_INPUT = "gemm_input"  # green: Linear/MatMul input activations
+    SOFTMAX_INPUT = "softmax_input"  # red: attention scores
+    GELU_INPUT = "gelu_input"  # red: MLP hidden pre-activation
+    NORM_INPUT = "norm_input"  # red: LayerNorm inputs
+    RESIDUAL = "residual"  # red: element-wise addition operands
+
+
+_GEMM_INPUT_SUFFIXES = (
+    ".qkv.input",
+    ".proj.input",
+    ".fc1.input",
+    ".fc2.input",
+    ".head.input",
+    ".head_dist.input",
+    ".reduction.input",
+    ".q",
+    ".k",
+    ".v",
+    ".probs",
+)
+_NORM_SUFFIXES = (".final_norm_input", ".merge_norm_input")
+_RESIDUAL_SUFFIXES = (".block_input", ".mid_input", ".attn_residual", ".mlp_residual")
+
+
+def classify_tap(name: str) -> TapKind:
+    """Map a tap's dotted name to its dataflow category."""
+    if name.endswith(".weight"):
+        return TapKind.WEIGHT
+    if name.endswith(_GEMM_INPUT_SUFFIXES):
+        return TapKind.GEMM_INPUT
+    if name.endswith(".scores"):
+        return TapKind.SOFTMAX_INPUT
+    if name.endswith(".act.input"):
+        return TapKind.GELU_INPUT
+    if name.endswith(_NORM_SUFFIXES):
+        return TapKind.NORM_INPUT
+    if name.endswith(_RESIDUAL_SUFFIXES):
+        return TapKind.RESIDUAL
+    raise ValueError(f"cannot classify tap {name!r}")
+
+
+#: Tap kinds covered by partial quantization (GEMM operands only, the green
+#: components of Figure 1) vs full quantization (the whole dataflow).
+_PARTIAL_KINDS = frozenset({TapKind.WEIGHT, TapKind.GEMM_INPUT})
+
+
+def taps_for_coverage(kind: TapKind, coverage: str) -> bool:
+    """Whether a tap of ``kind`` is quantized under the given coverage."""
+    if coverage == "partial":
+        return kind in _PARTIAL_KINDS
+    if coverage == "full":
+        return True
+    raise ValueError(f"coverage must be 'partial' or 'full', got {coverage!r}")
+
+
+class QuantEnv(TapDispatcher):
+    """Tap dispatcher with three phases: off, observe, quantize.
+
+    * ``observe``: record a copy of every tensor passing a registered tap
+      (concatenated over calibration batches) and, optionally, the gradient
+      flowing back through it (for the Hessian-weighted search).
+    * ``quantize``: pass tensors through their tap's fitted quantizer using
+      a straight-through node, so fake quantization is active in forward
+      while gradients (when enabled) flow unchanged.
+    """
+
+    def __init__(self):
+        self.phase = "off"
+        self.watched: set[str] | None = None  # None = watch everything
+        self.records: dict[str, list[np.ndarray]] = {}
+        self.grad_records: dict[str, list[np.ndarray]] = {}
+        self.quantizers: dict[str, Quantizer] = {}
+        self.capture_grads = False
+        self.seen_taps: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def observed(self, name: str) -> np.ndarray:
+        """Concatenated calibration data recorded at ``name``."""
+        if name not in self.records:
+            raise KeyError(f"no observations recorded for tap {name!r}")
+        return np.concatenate([r.reshape(-1) for r in self.records[name]])
+
+    def observed_gradients(self, name: str) -> np.ndarray:
+        if name not in self.grad_records:
+            raise KeyError(f"no gradients recorded for tap {name!r}")
+        return np.concatenate([g.reshape(-1) for g in self.grad_records[name]])
+
+    def clear_observations(self) -> None:
+        self.records.clear()
+        self.grad_records.clear()
+
+    # ------------------------------------------------------------------
+    def tap(self, name: str, value: Tensor) -> Tensor:
+        self.seen_taps.add(name)
+        if self.phase == "off":
+            return value
+        if self.watched is not None and name not in self.watched:
+            return value
+
+        if self.phase == "observe":
+            self.records.setdefault(name, []).append(value.data.copy())
+            if self.capture_grads and is_grad_enabled():
+                store = self.grad_records.setdefault(name, [])
+
+                def capture(g):
+                    store.append(np.asarray(g, dtype=np.float32).copy())
+                    return (g,)
+
+                return Tensor._make(value.data, (value,), capture)
+            return value
+
+        if self.phase == "quantize":
+            quantizer = self.quantizers.get(name)
+            if quantizer is None:
+                return value
+            return straight_through(value, quantizer.fake_quantize)
+
+        raise RuntimeError(f"unknown QuantEnv phase {self.phase!r}")

@@ -1,0 +1,216 @@
+"""Quantization parameters for QUQ: subranges, modes, the Eq. (4) constraint.
+
+A :class:`QUQParams` records, for each of the four subranges
+``F-``, ``F+``, ``C-``, ``C+``, either ``None`` (the subrange was merged
+away) or a :class:`SubrangeSpec` carrying its scale factor and the number of
+encoding levels it owns.
+
+Encoding-space accounting
+-------------------------
+The total code space of *b*-bit QUQ is ``2^b``.  In Mode A each subrange
+owns ``2^(b-2)`` codes; every merge transfers the vacated codes to the
+surviving subrange.  A negative subrange with ``L`` levels represents codes
+``-L..-1``; a positive subrange with ``L`` levels represents ``0..L-1``
+(zero lives in the positive space, matching Algorithm 2's use of
+``2^(b-2)`` negative vs ``2^(b-2)-1`` positive steps).  The invariant
+``sum(levels) == 2^b`` holds in every mode and is validated at
+construction.
+
+The Eq. (4) constraint — every scale factor is the shared base ``delta``
+times an integer power of two — is also validated here, because the
+integer-only dot product of Eq. (5) is only legal when it holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["Subrange", "SubrangeSpec", "Mode", "QUQParams"]
+
+
+class Subrange(Enum):
+    """The four QUQ subranges."""
+
+    F_NEG = "F-"
+    F_POS = "F+"
+    C_NEG = "C-"
+    C_POS = "C+"
+
+    @property
+    def is_fine(self) -> bool:
+        return self in (Subrange.F_NEG, Subrange.F_POS)
+
+    @property
+    def is_negative(self) -> bool:
+        return self in (Subrange.F_NEG, Subrange.C_NEG)
+
+
+class Mode(Enum):
+    """QUQ operating modes (Figure 4 of the paper)."""
+
+    A = "A"  # four subranges, no merging
+    B = "B"  # one-sided data: both subranges on one side of zero
+    C = "C"  # coarse subranges merged into one side
+    D = "D"  # fine+coarse merged per side: piecewise-uniform fallback
+
+
+@dataclass(frozen=True)
+class SubrangeSpec:
+    """Scale factor and encoding-space share of one subrange."""
+
+    delta: float
+    levels: int
+
+    def __post_init__(self):
+        if self.delta <= 0:
+            raise ValueError(f"subrange delta must be positive, got {self.delta}")
+        if self.levels < 1:
+            raise ValueError(f"subrange levels must be >= 1, got {self.levels}")
+        # Normalize to builtin types (NumPy scalars would otherwise leak
+        # float64 promotion into the float32 fast path).
+        object.__setattr__(self, "delta", float(self.delta))
+        object.__setattr__(self, "levels", int(self.levels))
+
+
+def _is_power_of_two_ratio(ratio: float) -> bool:
+    log = np.log2(ratio)
+    return bool(np.isclose(log, np.rint(log), atol=1e-6))
+
+
+@dataclass(frozen=True)
+class QUQParams:
+    """Complete parameter set of a fitted b-bit QUQ quantizer."""
+
+    bits: int
+    f_neg: SubrangeSpec | None
+    f_pos: SubrangeSpec | None
+    c_neg: SubrangeSpec | None
+    c_pos: SubrangeSpec | None
+
+    def __post_init__(self):
+        if self.bits < 3:
+            raise ValueError(f"QUQ needs at least 3 bits, got {self.bits}")
+        active = self.active()
+        if not active:
+            raise ValueError("QUQParams needs at least one active subrange")
+        total = sum(spec.levels for _, spec in active)
+        if total != 2**self.bits:
+            raise ValueError(
+                f"encoding space must total 2^{self.bits}={2 ** self.bits} "
+                f"levels, got {total}"
+            )
+        half = 2 ** (self.bits - 1)
+        for subrange, spec in active:
+            if spec.levels > half:
+                raise ValueError(
+                    f"subrange {subrange.value} holds {spec.levels} levels, but "
+                    f"a QUB codes at most {half} per fine/coarse space"
+                )
+        base = self.base_delta
+        for subrange, spec in active:
+            ratio = spec.delta / base
+            if ratio < 1 - 1e-9 or not _is_power_of_two_ratio(ratio):
+                raise ValueError(
+                    f"Eq. (4) violated: {subrange.value} delta {spec.delta} is "
+                    f"not a power-of-two multiple of base {base}"
+                )
+
+    # ------------------------------------------------------------------
+    def spec(self, subrange: Subrange) -> SubrangeSpec | None:
+        return {
+            Subrange.F_NEG: self.f_neg,
+            Subrange.F_POS: self.f_pos,
+            Subrange.C_NEG: self.c_neg,
+            Subrange.C_POS: self.c_pos,
+        }[subrange]
+
+    def active(self) -> list[tuple[Subrange, SubrangeSpec]]:
+        """Active subranges in canonical order."""
+        return [
+            (s, spec)
+            for s in (Subrange.F_NEG, Subrange.F_POS, Subrange.C_NEG, Subrange.C_POS)
+            if (spec := self.spec(s)) is not None
+        ]
+
+    @property
+    def base_delta(self) -> float:
+        """The shared Delta of Eq. (4): the smallest active scale factor."""
+        return min(spec.delta for _, spec in self.active())
+
+    def shift(self, subrange: Subrange) -> int:
+        """``log2 s`` for a subrange: its shift count in the Eq. (5) datapath."""
+        spec = self.spec(subrange)
+        if spec is None:
+            raise ValueError(f"subrange {subrange.value} is merged")
+        return int(np.rint(np.log2(spec.delta / self.base_delta)))
+
+    @property
+    def mode(self) -> Mode:
+        """Classify the parameter pattern into the paper's four modes."""
+        present = {s for s, _ in self.active()}
+        if len(present) == 4:
+            return Mode.A
+        negatives = {Subrange.F_NEG, Subrange.C_NEG}
+        positives = {Subrange.F_POS, Subrange.C_POS}
+        if present <= negatives or present <= positives:
+            return Mode.B
+        if len(present) == 3:
+            return Mode.C
+        # Two subranges on opposite sides: fine space on one side of zero,
+        # coarse space on the other (Figure 4 Mode D).
+        return Mode.D
+
+    # ------------------------------------------------------------------
+    def positive_fine_bound(self) -> float:
+        """Largest value representable by ``F+`` (assignment boundary)."""
+        if self.f_pos is None:
+            return 0.0
+        return (self.f_pos.levels - 1) * self.f_pos.delta
+
+    def negative_fine_bound(self) -> float:
+        """Largest magnitude representable by ``F-`` (assignment boundary)."""
+        if self.f_neg is None:
+            return 0.0
+        return self.f_neg.levels * self.f_neg.delta
+
+    def max_positive(self) -> float:
+        """Largest representable positive value across active subranges."""
+        best = 0.0
+        for spec in (self.f_pos, self.c_pos):
+            if spec is not None:
+                best = max(best, (spec.levels - 1) * spec.delta)
+        return best
+
+    def max_negative_magnitude(self) -> float:
+        """Largest representable negative magnitude across active subranges."""
+        best = 0.0
+        for spec in (self.f_neg, self.c_neg):
+            if spec is not None:
+                best = max(best, spec.levels * spec.delta)
+        return best
+
+    def quantization_points(self) -> np.ndarray:
+        """All representable values (sorted, deduplicated).
+
+        These are the vertical lines of Figure 3.
+        """
+        points = [0.0]
+        for subrange, spec in self.active():
+            if subrange.is_negative:
+                codes = np.arange(-spec.levels, 0)
+            else:
+                codes = np.arange(0, spec.levels)
+            points.append(codes * spec.delta)
+        return np.unique(np.concatenate([np.atleast_1d(p) for p in points]))
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        parts = []
+        for subrange, spec in self.active():
+            parts.append(
+                f"{subrange.value}: delta={spec.delta:.3e} levels={spec.levels}"
+            )
+        return f"Mode {self.mode.value} ({self.bits}-bit) | " + " | ".join(parts)

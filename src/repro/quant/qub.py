@@ -1,0 +1,217 @@
+"""Quadruplet uniform bytes (QUBs): the hardware encoding of QUQ results.
+
+Section 4.1 of the paper: each quantized tensor carries, besides its base
+scale factor ``Delta``, two 8-bit *FC registers* describing how the fine
+and coarse halves of the code space are laid out.  Each b-bit QUB then
+holds a fine/coarse flag in its top bit and a (b-1)-bit payload whose
+interpretation (signed two's complement, or one-sided magnitude) is read
+from the registers.  Decoding (Eq. 6-7) turns a QUB into a b-bit signed
+integer ``D`` and a 3-bit shift ``n_sh`` such that the represented value is
+``D << n_sh`` in units of the base delta — which is what lets a plain
+signed multiplier process every mode.
+
+Register layout (one byte per granularity, fine ``f`` and coarse ``c``)::
+
+    bit 7    : 1 -> this space holds both signs (payload is signed)
+    bit 6    : if bit7 == 0, 1 -> the reserved side is negative
+    bits 5-3 : log2 s for the negative subrange (shift count)
+    bits 2-0 : log2 s for the positive subrange (shift count)
+
+One deliberate deviation from infinite-precision math: a one-sided
+*negative* space cannot represent the value zero (its payload patterns map
+to ``-2^(b-1)..-1``), so :func:`encode` clamps zero codes to ``-1`` there.
+This only affects exact zeros of non-positive tensors, which do not occur
+in the ViT dataflow (the one-sided tensors are the non-negative
+post-Softmax activations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .params import QUQParams, Subrange, SubrangeSpec
+from .quq import SUBRANGE_IDS, QuantizedTensor
+
+__all__ = [
+    "SpaceRegister",
+    "FCRegisters",
+    "encode",
+    "decode",
+    "legalize_for_hardware",
+    "MAX_SHIFT",
+]
+
+#: Shift fields are 3 bits wide.
+MAX_SHIFT = 7
+
+
+@dataclass(frozen=True)
+class SpaceRegister:
+    """One FC register: layout of the fine or coarse half of code space."""
+
+    both_sides: bool
+    negative_reserved: bool
+    shift_neg: int
+    shift_pos: int
+
+    def __post_init__(self):
+        for shift in (self.shift_neg, self.shift_pos):
+            if not 0 <= shift <= MAX_SHIFT:
+                raise ValueError(
+                    f"shift {shift} does not fit the 3-bit register field"
+                )
+
+    def pack(self) -> int:
+        """Pack into the 8-bit register byte."""
+        return (
+            (int(self.both_sides) << 7)
+            | (int(self.negative_reserved and not self.both_sides) << 6)
+            | (self.shift_neg << 3)
+            | self.shift_pos
+        )
+
+    @staticmethod
+    def unpack(byte: int) -> "SpaceRegister":
+        if not 0 <= byte <= 0xFF:
+            raise ValueError(f"register byte out of range: {byte}")
+        both = bool(byte >> 7 & 1)
+        return SpaceRegister(
+            both_sides=both,
+            # Bit 6 is only meaningful when the space holds a single side.
+            negative_reserved=bool(byte >> 6 & 1) and not both,
+            shift_neg=byte >> 3 & 0b111,
+            shift_pos=byte & 0b111,
+        )
+
+
+@dataclass(frozen=True)
+class FCRegisters:
+    """The pair of registers accompanying one quantized tensor."""
+
+    fine: SpaceRegister
+    coarse: SpaceRegister
+
+    @staticmethod
+    def from_params(params: QUQParams) -> "FCRegisters":
+        """Derive the register contents from fitted QUQ parameters."""
+
+        def build(neg: SubrangeSpec | None, pos: SubrangeSpec | None,
+                  neg_sub: Subrange, pos_sub: Subrange) -> SpaceRegister:
+            return SpaceRegister(
+                both_sides=neg is not None and pos is not None,
+                negative_reserved=neg is not None and pos is None,
+                shift_neg=params.shift(neg_sub) if neg is not None else 0,
+                shift_pos=params.shift(pos_sub) if pos is not None else 0,
+            )
+
+        return FCRegisters(
+            fine=build(params.f_neg, params.f_pos, Subrange.F_NEG, Subrange.F_POS),
+            coarse=build(params.c_neg, params.c_pos, Subrange.C_NEG, Subrange.C_POS),
+        )
+
+
+def legalize_for_hardware(params: QUQParams) -> QUQParams:
+    """Grow fine scale factors until every shift fits the 3-bit field.
+
+    Extremely long-tailed tensors can make ``log2(delta_C / delta_F)``
+    exceed :data:`MAX_SHIFT`.  Hardware resolves this by coarsening the fine
+    subranges (doubling their deltas) until the ratios fit; accuracy-only
+    experiments keep the unconstrained parameters.
+    """
+
+    def too_wide(p: QUQParams) -> bool:
+        return any(p.shift(s) > MAX_SHIFT for s, _ in p.active())
+
+    current = params
+    while too_wide(current):
+        def grow(spec: SubrangeSpec | None) -> SubrangeSpec | None:
+            if spec is None:
+                return None
+            return SubrangeSpec(spec.delta * 2.0, spec.levels)
+
+        # Double the *smallest* deltas (they define the base) to shrink the
+        # largest ratio by one bit per iteration.
+        base = current.base_delta
+
+        def maybe_grow(spec: SubrangeSpec | None) -> SubrangeSpec | None:
+            if spec is None:
+                return None
+            if np.isclose(spec.delta, base):
+                return grow(spec)
+            return spec
+
+        current = QUQParams(
+            current.bits,
+            f_neg=maybe_grow(current.f_neg),
+            f_pos=maybe_grow(current.f_pos),
+            c_neg=maybe_grow(current.c_neg),
+            c_pos=maybe_grow(current.c_pos),
+        )
+    return current
+
+
+def encode(qt: QuantizedTensor) -> tuple[np.ndarray, FCRegisters]:
+    """Encode a quantized tensor into QUB bytes plus its FC registers."""
+    params = qt.params
+    bits = params.bits
+    registers = FCRegisters.from_params(params)
+    half = 2 ** (bits - 1)
+
+    fine_mask = (qt.subranges == SUBRANGE_IDS[Subrange.F_NEG]) | (
+        qt.subranges == SUBRANGE_IDS[Subrange.F_POS]
+    )
+    codes = qt.codes.astype(np.int64).copy()
+
+    # A one-sided negative space cannot express zero: clamp to -1.
+    for mask, register in (
+        (fine_mask, registers.fine),
+        (~fine_mask, registers.coarse),
+    ):
+        if register.negative_reserved:
+            zero = mask & (codes == 0)
+            codes[zero] = -1
+
+    payload = codes & (half - 1)
+    qubs = (fine_mask.astype(np.int64) << (bits - 1)) | payload
+    return qubs.astype(np.uint8 if bits <= 8 else np.uint16), registers
+
+
+def decode(
+    qubs: np.ndarray, registers: FCRegisters, bits: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Eq. (6)-(7): decode QUBs into ``(D, n_sh)``.
+
+    ``D`` is a b-bit signed integer and ``n_sh`` the per-element shift; the
+    represented value is ``D * 2**n_sh`` in units of the tensor's base
+    delta.
+    """
+    qubs = qubs.astype(np.int64)
+    half = 2 ** (bits - 1)
+    quarter = 2 ** (bits - 2)
+    fine_flag = (qubs >> (bits - 1)) & 1
+    payload = qubs & (half - 1)
+
+    d = np.zeros(qubs.shape, dtype=np.int64)
+    n_sh = np.zeros(qubs.shape, dtype=np.int64)
+    for flag, register in ((1, registers.fine), (0, registers.coarse)):
+        mask = fine_flag == flag
+        if not mask.any():
+            continue
+        p = payload[mask]
+        if register.both_sides:
+            # (b-1)-bit two's complement payload, sign-extended to b bits.
+            value = np.where(p >= quarter, p - half, p)
+            shift = np.where(value < 0, register.shift_neg, register.shift_pos)
+        elif register.negative_reserved:
+            # {1, payload}: b-bit two's complement with implied sign 1.
+            value = p - half
+            shift = np.full(p.shape, register.shift_neg, dtype=np.int64)
+        else:
+            # {0, payload}: non-negative magnitudes.
+            value = p
+            shift = np.full(p.shape, register.shift_pos, dtype=np.int64)
+        d[mask] = value
+        n_sh[mask] = shift
+    return d, n_sh

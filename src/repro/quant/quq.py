@@ -1,0 +1,254 @@
+"""Quadruplet uniform quantization (Eq. 3) — the paper's core contribution.
+
+A fitted :class:`QUQQuantizer` assigns every element to one of the active
+subranges of its :class:`~repro.quant.params.QUQParams` and quantizes it
+with that subrange's scale factor.  Assignment is anchored at zero: fine
+subranges take the elements within their representable span, coarse
+subranges take the rest (clipping at the coarse extreme), so every code is
+proportional to its value and no zero points exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Quantizer
+from .params import Mode, QUQParams, Subrange, SubrangeSpec
+from .relax import PRAConfig, progressive_relaxation
+
+__all__ = [
+    "SUBRANGE_IDS",
+    "QuantizedTensor",
+    "QUQQuantizer",
+    "quantize_with_params",
+    "fake_quantize_with_params",
+]
+
+#: Stable integer ids for the four subranges (used in code/id arrays).
+SUBRANGE_IDS = {
+    Subrange.F_NEG: 0,
+    Subrange.F_POS: 1,
+    Subrange.C_NEG: 2,
+    Subrange.C_POS: 3,
+}
+_ID_TO_SUBRANGE = {v: k for k, v in SUBRANGE_IDS.items()}
+
+
+@dataclass
+class QuantizedTensor:
+    """Integer codes plus per-element subrange assignment."""
+
+    params: QUQParams
+    codes: np.ndarray  # int64; negative codes for negative subranges
+    subranges: np.ndarray  # int8 ids into SUBRANGE_IDS
+
+    def dequantize(self) -> np.ndarray:
+        deltas = np.zeros(4)
+        for subrange, spec in self.params.active():
+            deltas[SUBRANGE_IDS[subrange]] = spec.delta
+        return (self.codes * deltas[self.subranges]).astype(np.float32)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.codes.shape
+
+
+def _side_arrays(
+    params: QUQParams, negative: bool
+) -> tuple[SubrangeSpec | None, SubrangeSpec | None, int, int]:
+    if negative:
+        return params.f_neg, params.c_neg, SUBRANGE_IDS[Subrange.F_NEG], SUBRANGE_IDS[
+            Subrange.C_NEG
+        ]
+    return params.f_pos, params.c_pos, SUBRANGE_IDS[Subrange.F_POS], SUBRANGE_IDS[
+        Subrange.C_POS
+    ]
+
+
+def quantize_with_params(x: np.ndarray, params: QUQParams) -> QuantizedTensor:
+    """Apply Eq. (3): route elements to subranges and uniformly quantize."""
+    x = np.asarray(x, dtype=np.float64)
+    codes = np.zeros(x.shape, dtype=np.int64)
+    ids = np.full(x.shape, -1, dtype=np.int8)
+
+    has_positive = params.f_pos is not None or params.c_pos is not None
+    has_negative = params.f_neg is not None or params.c_neg is not None
+
+    for negative in (False, True):
+        fine, coarse, fine_id, coarse_id = _side_arrays(params, negative)
+        if fine is None and coarse is None:
+            continue
+        if negative:
+            side = x < 0 if has_positive else np.ones(x.shape, dtype=bool)
+            magnitude = -x
+        else:
+            side = x >= 0 if has_negative else np.ones(x.shape, dtype=bool)
+            magnitude = x
+        if not side.any():
+            continue
+
+        if fine is not None:
+            # Fine span: the largest magnitude the fine subrange represents.
+            # The boundary test carries a tiny relative tolerance so values
+            # that sit exactly on the span survive a float32 round trip.
+            span = fine.levels * fine.delta if negative else (fine.levels - 1) * fine.delta
+            span *= 1.0 + 1e-6
+            in_fine = side & (magnitude <= span) if coarse is not None else side
+        else:
+            in_fine = np.zeros(x.shape, dtype=bool)
+
+        if fine is not None and in_fine.any():
+            q = np.rint(magnitude[in_fine] / fine.delta)
+            if negative:
+                codes[in_fine] = -np.clip(q, 0, fine.levels).astype(np.int64)
+            else:
+                codes[in_fine] = np.clip(q, 0, fine.levels - 1).astype(np.int64)
+            ids[in_fine] = fine_id
+
+        if coarse is not None:
+            in_coarse = side & ~in_fine
+            if in_coarse.any():
+                q = np.rint(magnitude[in_coarse] / coarse.delta)
+                if negative:
+                    codes[in_coarse] = -np.clip(q, 0, coarse.levels).astype(np.int64)
+                else:
+                    codes[in_coarse] = np.clip(q, 0, coarse.levels - 1).astype(np.int64)
+                ids[in_coarse] = coarse_id
+
+    # Zero lives in the positive code space: negative elements that round
+    # to code 0 are re-homed there (in hardware a negative-reserved space
+    # has no zero pattern, see qub.py).
+    if has_positive:
+        zero_neg = (codes == 0) & (
+            (ids == SUBRANGE_IDS[Subrange.F_NEG]) | (ids == SUBRANGE_IDS[Subrange.C_NEG])
+        )
+        if zero_neg.any():
+            ids[zero_neg] = SUBRANGE_IDS[
+                Subrange.F_POS if params.f_pos is not None else Subrange.C_POS
+            ]
+
+    # Elements on a side with no subrange (e.g. positives under a
+    # negative-only Mode B): clip to the closest representable extreme.
+    unassigned = ids < 0
+    if unassigned.any():
+        if has_positive and not has_negative:
+            sid = SUBRANGE_IDS[
+                Subrange.F_POS if params.f_pos is not None else Subrange.C_POS
+            ]
+            codes[unassigned] = 0
+        else:
+            sid = SUBRANGE_IDS[
+                Subrange.F_NEG if params.f_neg is not None else Subrange.C_NEG
+            ]
+            codes[unassigned] = -1
+        ids[unassigned] = sid
+
+    return QuantizedTensor(params, codes, ids)
+
+
+def fake_quantize_with_params(x: np.ndarray, params: QUQParams) -> np.ndarray:
+    """Quantize-dequantize under Eq. (3) without materializing codes.
+
+    Pure float32 vectorized fast path, equivalent to
+    ``quantize_with_params(x, params).dequantize()`` (tested); used on the
+    inference hot path where only values matter.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    out = np.zeros_like(x)
+
+    def snap(values, delta, low, high):
+        return np.clip(np.rint(values / delta), low, high) * np.float32(delta)
+
+    has_positive = params.f_pos is not None or params.c_pos is not None
+    has_negative = params.f_neg is not None or params.c_neg is not None
+
+    # Positive side (owns zero when both sides exist).
+    if has_positive:
+        side = x >= 0 if has_negative else np.ones(x.shape, dtype=bool)
+        fine, coarse = params.f_pos, params.c_pos
+        if fine is not None and coarse is not None:
+            span = np.float32((fine.levels - 1) * fine.delta * (1.0 + 1e-6))
+            value = np.where(
+                x <= span,
+                snap(x, fine.delta, 0, fine.levels - 1),
+                snap(x, coarse.delta, 0, coarse.levels - 1),
+            )
+        elif fine is not None:
+            value = snap(x, fine.delta, 0, fine.levels - 1)
+        else:
+            value = snap(x, coarse.delta, 0, coarse.levels - 1)
+        out = np.where(side, value, out)
+
+    if has_negative:
+        side = x < 0 if has_positive else np.ones(x.shape, dtype=bool)
+        fine, coarse = params.f_neg, params.c_neg
+        if fine is not None and coarse is not None:
+            span = np.float32(fine.levels * fine.delta * (1.0 + 1e-6))
+            value = np.where(
+                -x <= span,
+                snap(x, fine.delta, -fine.levels, 0),
+                snap(x, coarse.delta, -coarse.levels, 0),
+            )
+        elif fine is not None:
+            value = snap(x, fine.delta, -fine.levels, 0)
+        else:
+            value = snap(x, coarse.delta, -coarse.levels, 0)
+        out = np.where(side, value, out)
+
+    return out
+
+
+class QUQQuantizer(Quantizer):
+    """Quadruplet uniform quantizer fitted by progressive relaxation."""
+
+    def __init__(self, bits: int, config: PRAConfig | None = None):
+        super().__init__(bits)
+        self.config = config or PRAConfig()
+        self.params: QUQParams | None = None
+
+    def fit(self, x: np.ndarray) -> "QUQQuantizer":
+        self.params = progressive_relaxation(x, self.bits, self.config)
+        self.fitted = True
+        return self
+
+    @property
+    def mode(self) -> Mode:
+        self._require_fitted()
+        return self.params.mode
+
+    def quantize(self, x: np.ndarray) -> QuantizedTensor:
+        self._require_fitted()
+        return quantize_with_params(x, self.params)
+
+    def fake_quantize(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return fake_quantize_with_params(x, self.params)
+
+    def scaled(self, factor: float) -> "QUQQuantizer":
+        """Copy with every scale factor multiplied by ``factor``.
+
+        A uniform rescaling preserves the Eq. (4) power-of-two ratios, so
+        the result is still a legal QUQ parameter set; the Hessian-weighted
+        grid search explores these candidates.
+        """
+        self._require_fitted()
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+
+        def scale(spec: SubrangeSpec | None) -> SubrangeSpec | None:
+            if spec is None:
+                return None
+            return SubrangeSpec(spec.delta * factor, spec.levels)
+
+        clone = QUQQuantizer(self.bits, self.config)
+        clone.params = QUQParams(
+            self.params.bits,
+            f_neg=scale(self.params.f_neg),
+            f_pos=scale(self.params.f_pos),
+            c_neg=scale(self.params.c_neg),
+            c_pos=scale(self.params.c_pos),
+        )
+        clone.fitted = True
+        return clone

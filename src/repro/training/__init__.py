@@ -1,0 +1,18 @@
+"""Optimizers, schedules and training loops."""
+
+from .optim import AdamW, Optimizer, SGD
+from .schedule import cosine_warmup
+from .trainer import TrainConfig, evaluate_top1, predict_logits, train_classifier
+from .qat import quantization_aware_finetune
+
+__all__ = [
+    "AdamW",
+    "Optimizer",
+    "SGD",
+    "cosine_warmup",
+    "TrainConfig",
+    "train_classifier",
+    "evaluate_top1",
+    "predict_logits",
+    "quantization_aware_finetune",
+]

@@ -1,0 +1,20 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cosine_warmup"]
+
+
+def cosine_warmup(
+    step: int, total_steps: int, base_lr: float, warmup_steps: int = 0, min_lr: float = 0.0
+) -> float:
+    """Linear warmup followed by cosine decay to ``min_lr``."""
+    if total_steps <= 0:
+        raise ValueError("total_steps must be positive")
+    if step < warmup_steps:
+        return base_lr * (step + 1) / max(1, warmup_steps)
+    span = max(1, total_steps - warmup_steps)
+    progress = min(1.0, (step - warmup_steps) / span)
+    return min_lr + 0.5 * (base_lr - min_lr) * (1.0 + np.cos(np.pi * progress))

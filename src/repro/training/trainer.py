@@ -1,0 +1,93 @@
+"""Training and evaluation loops for the mini model zoo."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..data import SynthShapes, batches
+from ..nn import Module, cross_entropy
+from .optim import AdamW
+from .schedule import cosine_warmup
+
+__all__ = ["TrainConfig", "train_classifier", "evaluate_top1", "predict_logits"]
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters for one model-zoo training run."""
+
+    epochs: int = 15
+    batch_size: int = 64
+    lr: float = 1e-3
+    weight_decay: float = 0.05
+    warmup_epochs: int = 1
+    label_smoothing: float = 0.0
+    seed: int = 0
+    log_every: int = 0  # batches between progress prints; 0 disables
+
+
+def _loss_for(logits: Tensor, labels: np.ndarray, smoothing: float) -> Tensor:
+    if logits.ndim == 3:  # DeiT training output: (B, 2, classes)
+        cls_loss = cross_entropy(logits[:, 0], labels, label_smoothing=smoothing)
+        dist_loss = cross_entropy(logits[:, 1], labels, label_smoothing=smoothing)
+        return (cls_loss + dist_loss) * 0.5
+    return cross_entropy(logits, labels, label_smoothing=smoothing)
+
+
+def train_classifier(
+    model: Module, train_set: SynthShapes, config: TrainConfig | None = None
+) -> list[float]:
+    """Train ``model`` on ``train_set``; returns per-epoch mean losses."""
+    config = config or TrainConfig()
+    optimizer = AdamW(
+        model.parameters(), lr=config.lr, weight_decay=config.weight_decay
+    )
+    steps_per_epoch = max(1, len(train_set) // config.batch_size)
+    total_steps = steps_per_epoch * config.epochs
+    warmup_steps = steps_per_epoch * config.warmup_epochs
+
+    model.train()
+    history: list[float] = []
+    step = 0
+    for epoch in range(config.epochs):
+        losses: list[float] = []
+        for i, (images, labels) in enumerate(
+            batches(
+                train_set, config.batch_size, shuffle=True,
+                seed=config.seed + epoch, drop_last=True,
+            )
+        ):
+            optimizer.lr = cosine_warmup(step, total_steps, config.lr, warmup_steps)
+            logits = model(Tensor(images))
+            loss = _loss_for(logits, labels, config.label_smoothing)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(float(loss.data))
+            step += 1
+            if config.log_every and (i + 1) % config.log_every == 0:
+                print(f"epoch {epoch} batch {i + 1}: loss {np.mean(losses):.4f}")
+        history.append(float(np.mean(losses)))
+    model.eval()
+    return history
+
+
+def predict_logits(model: Module, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
+    """Inference-mode logits over an image array."""
+    model.eval()
+    outputs = []
+    with no_grad():
+        for start in range(0, len(images), batch_size):
+            chunk = Tensor(images[start : start + batch_size])
+            outputs.append(model(chunk).data)
+    return np.concatenate(outputs, axis=0)
+
+
+def evaluate_top1(model: Module, dataset: SynthShapes, batch_size: int = 128) -> float:
+    """Top-1 accuracy (percent) of ``model`` on ``dataset``."""
+    logits = predict_logits(model, dataset.images, batch_size=batch_size)
+    predictions = logits.argmax(axis=-1)
+    return float(100.0 * np.mean(predictions == dataset.labels))

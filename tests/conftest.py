@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite.
+
+Models used in tests are deliberately tiny (and trained for only a couple
+of epochs where training matters) so the whole suite stays fast on one CPU
+core; the full-size mini-zoo models are exercised by the benchmark
+harness, not here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_splits
+from repro.models.configs import ModelConfig, SwinConfig
+from repro.models.vit import build_vit
+from repro.models.swin import build_swin
+from repro.training import TrainConfig, train_classifier
+
+TINY_VIT = ModelConfig("tiny_vit", "vit", 16, 4, 3, 10, 32, 2, 2)
+TINY_DEIT = ModelConfig("tiny_deit", "deit", 16, 4, 3, 10, 32, 2, 2, distilled=True)
+TINY_SWIN = SwinConfig("tiny_swin", 16, 2, 3, 10, 16, (1, 1), (2, 2), 4)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_vit():
+    return build_vit(TINY_VIT, seed=0)
+
+
+@pytest.fixture
+def tiny_deit():
+    return build_vit(TINY_DEIT, seed=0)
+
+
+@pytest.fixture
+def tiny_swin():
+    return build_swin(TINY_SWIN, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_data():
+    """Small train/val splits at the tiny models' 16x16 resolution."""
+    return make_splits(train_count=256, val_count=128, size=16, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_trained(tiny_data):
+    """A tiny ViT trained for two epochs — enough to be better than chance."""
+    train_set, _ = tiny_data
+    model = build_vit(TINY_VIT, seed=0)
+    train_classifier(model, train_set, TrainConfig(epochs=2, batch_size=64, lr=2e-3))
+    return model
+
+
+@pytest.fixture(scope="session")
+def calib_images(tiny_data):
+    train_set, _ = tiny_data
+    return train_set.images[:32]

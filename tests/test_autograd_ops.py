@@ -1,0 +1,161 @@
+"""Tests for composite/structural autograd operations."""
+
+import numpy as np
+import pytest
+from scipy.special import erf as scipy_erf
+
+from repro.autograd import (
+    Tensor,
+    check_gradients,
+    concat,
+    erf,
+    gelu,
+    layer_norm,
+    log_softmax,
+    masked_fill,
+    pad2d,
+    relu,
+    roll,
+    softmax,
+    stack,
+    straight_through,
+    take,
+    unfold_patches,
+)
+
+
+class TestActivations:
+    def test_erf_matches_scipy(self, rng):
+        x = rng.normal(size=(5,)).astype(np.float32)
+        np.testing.assert_allclose(erf(Tensor(x)).data, scipy_erf(x), rtol=1e-5)
+
+    def test_erf_grads(self, rng):
+        check_gradients(lambda a: erf(a), [rng.normal(size=(5,))])
+
+    def test_gelu_known_values(self):
+        out = gelu(Tensor([0.0, 100.0, -100.0]))
+        np.testing.assert_allclose(out.data, [0.0, 100.0, 0.0], atol=1e-5)
+
+    def test_gelu_grads(self, rng):
+        check_gradients(lambda a: gelu(a), [rng.normal(size=(6,))])
+
+    def test_relu_values_and_grads(self, rng):
+        np.testing.assert_allclose(relu(Tensor([-1.0, 2.0])).data, [0.0, 2.0])
+        check_gradients(lambda a: relu(a), [rng.normal(size=(6,)) + 0.1])
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        out = softmax(Tensor(rng.normal(size=(3, 7))), axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(3), rtol=1e-5)
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(2, 5)).astype(np.float32)
+        a = softmax(Tensor(x)).data
+        b = softmax(Tensor(x + 100.0)).data
+        # float32 resolution at +100 bounds how exact the shift can be
+        np.testing.assert_allclose(a, b, atol=1e-4)
+
+    def test_softmax_grads(self, rng):
+        check_gradients(lambda a: softmax(a, axis=-1), [rng.normal(size=(2, 4))])
+
+    def test_log_softmax_consistency(self, rng):
+        x = Tensor(rng.normal(size=(2, 5)).astype(np.float32))
+        np.testing.assert_allclose(
+            np.exp(log_softmax(x).data), softmax(x).data, rtol=1e-5
+        )
+
+    def test_log_softmax_grads(self, rng):
+        check_gradients(lambda a: log_softmax(a, axis=-1), [rng.normal(size=(2, 4))])
+
+
+class TestLayerNorm:
+    def test_output_statistics(self, rng):
+        x = Tensor(rng.normal(size=(4, 8)).astype(np.float32) * 3 + 1)
+        out = layer_norm(x, Tensor(np.ones(8)), Tensor(np.zeros(8)))
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(4), atol=1e-5)
+        np.testing.assert_allclose(out.data.std(axis=-1), np.ones(4), atol=1e-2)
+
+    def test_affine_applied(self, rng):
+        x = Tensor(rng.normal(size=(2, 4)).astype(np.float32))
+        out = layer_norm(x, Tensor(np.full(4, 2.0)), Tensor(np.full(4, 5.0)))
+        base = layer_norm(x, Tensor(np.ones(4)), Tensor(np.zeros(4)))
+        np.testing.assert_allclose(out.data, base.data * 2.0 + 5.0, rtol=1e-5)
+
+    def test_grads_all_inputs(self, rng):
+        check_gradients(
+            lambda x, w, b: layer_norm(x, w, b),
+            [rng.normal(size=(2, 3, 6)), rng.normal(size=(6,)), rng.normal(size=(6,))],
+        )
+
+
+class TestStructural:
+    def test_concat_values_and_grads(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(4, 3))
+        out = concat([Tensor(a), Tensor(b)], axis=0)
+        assert out.shape == (6, 3)
+        check_gradients(lambda x, y: concat([x, y], axis=0), [a, b])
+
+    def test_stack_grads(self, rng):
+        check_gradients(
+            lambda x, y: stack([x, y], axis=1),
+            [rng.normal(size=(2, 3)), rng.normal(size=(2, 3))],
+        )
+
+    def test_pad2d_shape_and_grads(self, rng):
+        x = rng.normal(size=(1, 4, 5, 2))
+        out = pad2d(Tensor(x), (1, 2, 0, 3))
+        assert out.shape == (1, 7, 8, 2)
+        check_gradients(lambda a: pad2d(a, (1, 2, 0, 3)), [x])
+
+    def test_roll_inverse_and_grads(self, rng):
+        x = rng.normal(size=(1, 4, 4, 2))
+        rolled = roll(Tensor(x), (1, -2), (1, 2))
+        back = roll(rolled, (-1, 2), (1, 2))
+        np.testing.assert_allclose(back.data, x.astype(np.float32))
+        check_gradients(lambda a: roll(a, (1, -2), (1, 2)), [x])
+
+    def test_take_gathers_and_accumulates(self):
+        table = Tensor(np.array([[1.0], [2.0], [3.0]]), requires_grad=True)
+        out = take(table, np.array([0, 0, 2]))
+        np.testing.assert_allclose(out.data, [[1.0], [1.0], [3.0]])
+        out.backward(np.ones((3, 1), dtype=np.float32))
+        np.testing.assert_allclose(table.grad, [[2.0], [0.0], [1.0]])
+
+    def test_masked_fill_values_and_blocked_grads(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        mask = np.array([False, True, False])
+        out = masked_fill(x, mask, -100.0)
+        np.testing.assert_allclose(out.data, [1.0, -100.0, 3.0])
+        out.backward(np.ones(3, dtype=np.float32))
+        np.testing.assert_allclose(x.grad, [1.0, 0.0, 1.0])
+
+    def test_unfold_patches_roundtrip_content(self):
+        # A 2x2 patching of a 4x4 single-channel image keeps all pixels.
+        img = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+        out = unfold_patches(Tensor(img), 2)
+        assert out.shape == (1, 4, 4)
+        np.testing.assert_allclose(sorted(out.data.reshape(-1)), np.arange(16))
+
+    def test_unfold_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            unfold_patches(Tensor(np.zeros((1, 5, 5, 1))), 2)
+
+    def test_unfold_grads(self, rng):
+        check_gradients(lambda a: unfold_patches(a, 2), [rng.normal(size=(1, 4, 4, 2))])
+
+
+class TestStraightThrough:
+    def test_forward_transforms(self):
+        out = straight_through(Tensor([1.2, 2.7]), np.round)
+        np.testing.assert_allclose(out.data, [1.0, 3.0])
+
+    def test_backward_is_identity(self):
+        x = Tensor([1.2, 2.7], requires_grad=True)
+        out = straight_through(x, np.round)
+        out.backward(np.array([5.0, 7.0], dtype=np.float32))
+        np.testing.assert_allclose(x.grad, [5.0, 7.0])
+
+    def test_shape_change_rejected(self):
+        with pytest.raises(ValueError):
+            straight_through(Tensor([1.0, 2.0]), lambda d: d[:1])

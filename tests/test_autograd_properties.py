@@ -1,0 +1,83 @@
+"""Property-based tests for the autograd engine (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, check_gradients, concat, softmax
+
+shapes = st.sampled_from([(3,), (2, 4), (2, 3, 4), (1, 5)])
+seeds = st.integers(0, 10_000)
+
+
+def _array(shape, seed, scale=1.0):
+    return (np.random.default_rng(seed).normal(size=shape) * scale).astype(np.float64)
+
+
+class TestAlgebraicIdentities:
+    @given(shapes, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_add_commutes(self, shape, seed):
+        a, b = _array(shape, seed), _array(shape, seed + 1)
+        left = (Tensor(a) + Tensor(b)).data
+        right = (Tensor(b) + Tensor(a)).data
+        np.testing.assert_array_equal(left, right)
+
+    @given(shapes, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_mul_distributes_over_add(self, shape, seed):
+        a, b, c = (_array(shape, seed + i) for i in range(3))
+        lhs = (Tensor(a) * (Tensor(b) + Tensor(c))).data
+        rhs = (Tensor(a) * Tensor(b) + Tensor(a) * Tensor(c)).data
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-5, atol=1e-6)
+
+    @given(shapes, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_double_negation(self, shape, seed):
+        a = _array(shape, seed)
+        np.testing.assert_array_equal((-(-Tensor(a))).data, Tensor(a).data)
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_matmul_associativity(self, seed):
+        a, b, c = _array((2, 3), seed), _array((3, 4), seed + 1), _array((4, 2), seed + 2)
+        lhs = ((Tensor(a) @ Tensor(b)) @ Tensor(c)).data
+        rhs = (Tensor(a) @ (Tensor(b) @ Tensor(c))).data
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-4, atol=1e-5)
+
+
+class TestGradientProperties:
+    @given(shapes, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_sum_of_parts_grad(self, shape, seed):
+        """d(sum(a*b))/da == b for any shapes (linearity)."""
+        a = _array(shape, seed)
+        b = _array(shape, seed + 1)
+        ta = Tensor(a.astype(np.float32), requires_grad=True)
+        (ta * Tensor(b)).sum().backward()
+        np.testing.assert_allclose(ta.grad, b, rtol=1e-5, atol=1e-6)
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_softmax_grad_orthogonal_to_ones(self, seed):
+        """Softmax rows sum to 1, so row gradients must sum to ~0."""
+        x = Tensor(_array((3, 5), seed).astype(np.float32), requires_grad=True)
+        out = softmax(x, axis=-1)
+        out.backward(_array((3, 5), seed + 1).astype(np.float32))
+        np.testing.assert_allclose(x.grad.sum(axis=-1), np.zeros(3), atol=1e-5)
+
+    @given(seeds, st.integers(2, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_concat_split_inverse_grads(self, seed, parts):
+        arrays = [_array((2, 3), seed + i) for i in range(parts)]
+        check_gradients(lambda *ts: concat(ts, axis=0), arrays)
+
+    @given(shapes, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_broadcast_scalar_grad_counts_elements(self, shape, seed):
+        scalar = Tensor(np.float32(2.0), requires_grad=True)
+        other = Tensor(_array(shape, seed).astype(np.float32))
+        (scalar * other).sum().backward()
+        np.testing.assert_allclose(
+            scalar.grad, other.data.sum(), rtol=1e-4
+        )

@@ -1,0 +1,198 @@
+"""Tests for the autograd Tensor primitives."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, as_tensor, check_gradients, is_grad_enabled, no_grad
+
+
+class TestConstruction:
+    def test_float64_downcast(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float32
+
+    def test_int_input_becomes_float(self):
+        t = Tensor([1, 2, 3])
+        assert t.dtype == np.float32
+
+    def test_from_tensor_shares_data(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert b.data is a.data
+
+    def test_shape_ndim_size(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.shape == (2, 3, 4)
+        assert t.ndim == 3
+        assert t.size == 24
+
+    def test_as_tensor_passthrough(self):
+        a = Tensor([1.0])
+        assert as_tensor(a) is a
+        assert isinstance(as_tensor(2.0), Tensor)
+
+
+class TestArithmetic:
+    def test_add_values_and_grads(self, rng):
+        check_gradients(lambda a, b: a + b, [rng.normal(size=(3, 4)), rng.normal(size=(3, 4))])
+
+    def test_add_broadcast_grad(self, rng):
+        check_gradients(lambda a, b: a + b, [rng.normal(size=(3, 4)), rng.normal(size=(4,))])
+
+    def test_scalar_radd(self):
+        t = 2.0 + Tensor([1.0, 2.0])
+        np.testing.assert_allclose(t.data, [3.0, 4.0])
+
+    def test_mul_grads(self, rng):
+        check_gradients(lambda a, b: a * b, [rng.normal(size=(2, 5)), rng.normal(size=(2, 5))])
+
+    def test_div_grads(self, rng):
+        check_gradients(
+            lambda a, b: a / b,
+            [rng.normal(size=(3,)), rng.uniform(1.0, 2.0, size=(3,))],
+        )
+
+    def test_rsub_rdiv(self):
+        t = Tensor([2.0])
+        np.testing.assert_allclose((3.0 - t).data, [1.0])
+        np.testing.assert_allclose((4.0 / t).data, [2.0])
+
+    def test_neg(self, rng):
+        check_gradients(lambda a: -a, [rng.normal(size=(4,))])
+
+    def test_pow_grads(self, rng):
+        check_gradients(lambda a: a**3, [rng.normal(size=(4,))])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+
+class TestMatmul:
+    def test_matmul_values(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+        out = Tensor(a) @ Tensor(b)
+        np.testing.assert_allclose(out.data, a.astype(np.float32) @ b.astype(np.float32), rtol=1e-5)
+
+    def test_matmul_grads_2d(self, rng):
+        check_gradients(lambda a, b: a @ b, [rng.normal(size=(3, 4)), rng.normal(size=(4, 2))])
+
+    def test_matmul_grads_batched_times_2d(self, rng):
+        # The fused Linear backward path (batched activations x 2-D weight).
+        check_gradients(
+            lambda a, b: a @ b, [rng.normal(size=(2, 3, 4)), rng.normal(size=(4, 2))]
+        )
+
+    def test_matmul_grads_batched_both(self, rng):
+        check_gradients(
+            lambda a, b: a @ b,
+            [rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 4, 3))],
+        )
+
+
+class TestShapeOps:
+    def test_reshape_grads(self, rng):
+        check_gradients(lambda a: a.reshape(6), [rng.normal(size=(2, 3))])
+
+    def test_reshape_tuple_arg(self):
+        t = Tensor(np.zeros((2, 3))).reshape((3, 2))
+        assert t.shape == (3, 2)
+
+    def test_transpose_grads(self, rng):
+        check_gradients(lambda a: a.transpose(1, 0, 2), [rng.normal(size=(2, 3, 4))])
+
+    def test_transpose_default_reverses(self):
+        t = Tensor(np.zeros((2, 3, 4))).transpose()
+        assert t.shape == (4, 3, 2)
+
+    def test_swapaxes_grads(self, rng):
+        check_gradients(lambda a: a.swapaxes(-1, -2), [rng.normal(size=(2, 3, 4))])
+
+    def test_getitem_basic_grads(self, rng):
+        check_gradients(lambda a: a[1], [rng.normal(size=(3, 4))])
+        check_gradients(lambda a: a[:, 1:3], [rng.normal(size=(3, 4))])
+
+    def test_getitem_fancy_grad_accumulates(self):
+        t = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        out = t[np.array([0, 0, 2])]
+        out.backward(np.ones(3, dtype=np.float32))
+        np.testing.assert_allclose(t.grad, [2.0, 0.0, 1.0])
+
+
+class TestReductions:
+    def test_sum_all_grads(self, rng):
+        check_gradients(lambda a: a.sum(), [rng.normal(size=(3, 4))])
+
+    def test_sum_axis_keepdims(self, rng):
+        check_gradients(lambda a: a.sum(axis=1, keepdims=True), [rng.normal(size=(3, 4))])
+
+    def test_mean_matches_numpy(self, rng):
+        a = rng.normal(size=(3, 4)).astype(np.float32)
+        np.testing.assert_allclose(Tensor(a).mean(axis=0).data, a.mean(axis=0), rtol=1e-5)
+
+    def test_mean_grads(self, rng):
+        check_gradients(lambda a: a.mean(axis=-1), [rng.normal(size=(2, 5))])
+
+    def test_max_axis(self, rng):
+        a = rng.normal(size=(3, 4)).astype(np.float32)
+        np.testing.assert_allclose(Tensor(a).max(axis=1).data, a.max(axis=1))
+
+
+class TestTranscendental:
+    def test_exp_log_sqrt_tanh_grads(self, rng):
+        positive = rng.uniform(0.5, 2.0, size=(4,))
+        check_gradients(lambda a: a.exp(), [rng.normal(size=(4,))])
+        check_gradients(lambda a: a.log(), [positive])
+        check_gradients(lambda a: a.sqrt(), [positive])
+        check_gradients(lambda a: a.tanh(), [rng.normal(size=(4,))])
+
+
+class TestBackwardMachinery:
+    def test_grad_accumulates_over_backward_calls(self):
+        t = Tensor([2.0], requires_grad=True)
+        (t * 3.0).backward()
+        (t * 3.0).backward()
+        np.testing.assert_allclose(t.grad, [6.0])
+
+    def test_diamond_graph_grad(self):
+        # y = x*x + x: dy/dx = 2x + 1
+        x = Tensor([3.0], requires_grad=True)
+        (x * x + x).backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_intermediate_nodes_do_not_retain_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        mid = x * 2.0
+        (mid * 3.0).backward()
+        assert mid.grad is None
+        assert x.grad is not None
+
+    def test_no_grad_disables_tape(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            out = x * 2.0
+        assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        out = x.detach() * 2.0
+        assert not out.requires_grad
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_backward_with_explicit_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 2.0).backward(np.array([1.0, 10.0], dtype=np.float32))
+        np.testing.assert_allclose(x.grad, [2.0, 20.0])
+
+    def test_reused_tensor_accumulates_once_per_path(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x + x + x
+        y.backward()
+        np.testing.assert_allclose(x.grad, [3.0])

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface (offline commands only).
+
+The model-dependent commands (``quantize``/``export``/``inspect``) pull
+from the trained zoo and are exercised by the benchmark harness; here we
+cover the parser wiring and the purely analytical commands.
+"""
+
+import pytest
+
+from repro.cli import build_parser, cmd_memory, cmd_table4
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_quantize_defaults(self):
+        args = build_parser().parse_args(["quantize", "vit_mini_s"])
+        assert args.method == "quq"
+        assert args.bits == 6
+        assert args.coverage == "full"
+
+    def test_quantize_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["quantize", "resnet50"])
+
+    def test_quantize_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["quantize", "vit_mini_s", "--method", "awq"])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("zoo", "quantize", "export", "table4", "memory", "inspect"):
+            # Should parse without SystemExit for arg-free commands…
+            if command in ("zoo", "table4", "memory"):
+                args = parser.parse_args([command])
+                assert callable(args.fn)
+
+
+class TestAnalyticalCommands:
+    def test_table4_prints(self, capsys):
+        cmd_table4(build_parser().parse_args(["table4"]))
+        out = capsys.readouterr().out
+        assert "quq" in out and "mm^2" in out
+
+    def test_memory_prints(self, capsys):
+        cmd_memory(build_parser().parse_args(["memory", "--bits", "6"]))
+        out = capsys.readouterr().out
+        assert "vit_l" in out and "overhead" in out

@@ -1,0 +1,177 @@
+"""Tests for the analytical area/power model (Table 4) and the memory
+simulator (Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    AcceleratorSpec,
+    adder_gates,
+    build_vit_block_dataflow,
+    evaluate,
+    leading_zero_detector_gates,
+    memory_table,
+    multiplier_gates,
+    mux_gates,
+    peak_memory_bytes,
+    register_gates,
+    shifter_gates,
+    table4,
+)
+from repro.models.configs import PAPER_CONFIGS
+
+
+class TestGatePrimitives:
+    def test_multiplier_quadratic_in_width(self):
+        assert multiplier_gates(8, 8) == 4 * multiplier_gates(4, 4)
+
+    def test_linear_primitives(self):
+        assert adder_gates(32) == 2 * adder_gates(16)
+        assert register_gates(16) == 2 * register_gates(8)
+
+    def test_shifter_log_stages(self):
+        assert shifter_gates(8, 7) == 3 * 8 * 3  # 3 stages for range 7
+        assert shifter_gates(8, 1) == 3 * 8 * 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multiplier_gates(0, 4)
+        with pytest.raises(ValueError):
+            adder_gates(0)
+        with pytest.raises(ValueError):
+            mux_gates(4, 1)
+        with pytest.raises(ValueError):
+            leading_zero_detector_gates(1)
+
+
+class TestAreaPowerModel:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorSpec("tpu", 8, 16)
+        with pytest.raises(ValueError):
+            AcceleratorSpec("baseq", 1, 16)
+        with pytest.raises(ValueError):
+            AcceleratorSpec("baseq", 8, 0)
+
+    def test_more_bits_more_area_and_power(self):
+        for method in ("baseq", "quq"):
+            six = evaluate(AcceleratorSpec(method, 6, 16))
+            eight = evaluate(AcceleratorSpec(method, 8, 16))
+            assert eight.area_mm2 > six.area_mm2
+            assert eight.power_mw > six.power_mw
+
+    def test_bigger_array_more_area(self):
+        small = evaluate(AcceleratorSpec("baseq", 6, 16))
+        big = evaluate(AcceleratorSpec("baseq", 6, 64))
+        assert big.area_mm2 > 10 * small.area_mm2
+
+    def test_quq_overhead_bounded(self):
+        """Paper claim: QUQ adds modest area/power at equal bit-width."""
+        for bits in (6, 8):
+            for array in (16, 64):
+                base = evaluate(AcceleratorSpec("baseq", bits, array))
+                quq = evaluate(AcceleratorSpec("quq", bits, array))
+                area_overhead = quq.area_mm2 / base.area_mm2 - 1
+                power_overhead = quq.power_mw / base.power_mw - 1
+                assert 0 < area_overhead < 0.15
+                assert 0 < power_overhead < 0.15
+
+    def test_overhead_shrinks_with_array_size(self):
+        """Paper claim: edge units amortize over the n^2 PEs."""
+        def overhead(array):
+            base = evaluate(AcceleratorSpec("baseq", 6, array))
+            quq = evaluate(AcceleratorSpec("quq", 6, array))
+            return quq.area_mm2 / base.area_mm2
+
+        assert overhead(64) < overhead(16)
+
+    def test_6bit_quq_beats_8bit_baseq(self):
+        """Paper claim: 6-bit QUQ is smaller and cooler than 8-bit BaseQ."""
+        for array in (16, 64):
+            base8 = evaluate(AcceleratorSpec("baseq", 8, array))
+            quq6 = evaluate(AcceleratorSpec("quq", 6, array))
+            assert quq6.area_mm2 < base8.area_mm2
+            assert quq6.power_mw < base8.power_mw
+
+    def test_absolute_calibration_near_paper(self):
+        """BaseQ anchors: within 40% of the paper's synthesized numbers."""
+        report = evaluate(AcceleratorSpec("baseq", 6, 16))
+        assert 0.6 * 0.148 < report.area_mm2 < 1.4 * 0.148
+        assert 0.6 * 52.4 < report.power_mw < 1.9 * 52.4
+
+    def test_table4_layout(self):
+        rows = table4()
+        assert len(rows) == 4
+        assert {"method", "bits", "area_mm2_16", "power_mw_64"} <= set(rows[0])
+
+
+class TestMemorySimulator:
+    def test_fq_never_exceeds_pq(self):
+        for name in ("vit_s", "vit_l", "swin_t"):
+            flow = build_vit_block_dataflow(PAPER_CONFIGS[name], batch=4)
+            pq, _ = peak_memory_bytes(flow, "pq", 8)
+            fq, _ = peak_memory_bytes(flow, "fq", 8)
+            assert fq < pq
+
+    def test_fp32_is_upper_bound(self):
+        flow = build_vit_block_dataflow(PAPER_CONFIGS["vit_s"], batch=1)
+        fp, _ = peak_memory_bytes(flow, "fp32", 8)
+        pq, _ = peak_memory_bytes(flow, "pq", 8)
+        assert fp > pq
+
+    def test_peak_grows_with_batch(self):
+        flows = [build_vit_block_dataflow(PAPER_CONFIGS["vit_s"], b) for b in (1, 4)]
+        peaks = [peak_memory_bytes(f, "fq", 8)[0] for f in flows]
+        assert peaks[1] > peaks[0]
+
+    def test_pq_advantage_grows_with_batch(self):
+        """Paper: larger batches raise the activation share, widening the gap."""
+        def ratio(batch):
+            flow = build_vit_block_dataflow(PAPER_CONFIGS["vit_s"], batch)
+            pq, _ = peak_memory_bytes(flow, "pq", 8)
+            fq, _ = peak_memory_bytes(flow, "fq", 8)
+            return pq / fq
+
+        assert ratio(8) > ratio(1)
+
+    def test_smaller_models_bigger_relative_gap(self):
+        """Paper: full quantization matters most for small (edge) models."""
+        def ratio(name):
+            flow = build_vit_block_dataflow(PAPER_CONFIGS[name], batch=1)
+            pq, _ = peak_memory_bytes(flow, "pq", 8)
+            fq, _ = peak_memory_bytes(flow, "fq", 8)
+            return pq / fq
+
+        assert ratio("vit_s") > ratio("vit_l")
+
+    def test_fewer_bits_less_memory(self):
+        flow = build_vit_block_dataflow(PAPER_CONFIGS["vit_s"], batch=1)
+        six, _ = peak_memory_bytes(flow, "fq", 6)
+        eight, _ = peak_memory_bytes(flow, "fq", 8)
+        assert six < eight
+
+    def test_swin_dataflow_uses_window_attention_shape(self):
+        flow = build_vit_block_dataflow(PAPER_CONFIGS["swin_t"], batch=1)
+        # Window attention matrices are much smaller than global NxN.
+        tokens = (224 // 4) ** 2
+        assert flow.tensors["scores"] < tokens * tokens
+
+    def test_unknown_scheme_rejected(self):
+        flow = build_vit_block_dataflow(PAPER_CONFIGS["vit_s"], batch=1)
+        with pytest.raises(ValueError):
+            peak_memory_bytes(flow, "int4", 8)
+
+    def test_memory_table_rows(self):
+        rows = memory_table([PAPER_CONFIGS["vit_s"]], batches=(1, 2))
+        assert len(rows) == 2
+        assert all(row["pq_over_fq"] > 1 for row in rows)
+
+    def test_paper_overhead_range(self):
+        """Abstract claim: PQ costs 22.3%-172.6% extra memory vs FQ."""
+        rows = memory_table(
+            [PAPER_CONFIGS[n] for n in ("vit_s", "vit_b", "vit_l")],
+            batches=(1, 2, 4, 8),
+        )
+        overheads = [100 * (r["pq_over_fq"] - 1) for r in rows]
+        assert min(overheads) > 20
+        assert max(overheads) < 200

@@ -1,0 +1,103 @@
+"""Tests for the QUA block executor (integer path vs fake quantization)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, concat, no_grad
+from repro.hw import BlockExecutor
+from repro.quant import PTQPipeline
+
+
+@pytest.fixture(scope="module")
+def quq_pipeline(tiny_trained, calib_images):
+    pipeline = PTQPipeline(tiny_trained, method="quq", bits=8, coverage="full")
+    pipeline.calibrate(calib_images)
+    yield pipeline
+    pipeline.detach()
+
+
+@pytest.fixture(scope="module")
+def block_tokens(tiny_trained, calib_images, quq_pipeline):
+    """Token features entering block 0, plus the fake-quant block output."""
+    images = calib_images[:4]
+    quq_pipeline.detach()
+    with no_grad():
+        patches = tiny_trained.patch_embed(Tensor(images))
+        ones = Tensor(np.ones((4, 1, 1), dtype=np.float32))
+        tokens = concat([ones * tiny_trained.cls_token, patches], axis=1)
+        tokens = tokens + tiny_trained.pos_embed
+    quq_pipeline.attach()
+    with no_grad():
+        fq_output = tiny_trained.blocks[0](tokens).data
+    quq_pipeline.detach()
+    return tokens.data.astype(np.float64), fq_output
+
+
+class TestBlockExecutor:
+    def test_requires_quq_pipeline(self, tiny_trained, calib_images):
+        pipeline = PTQPipeline(tiny_trained, method="baseq", bits=8, coverage="full")
+        pipeline.calibrate(calib_images)
+        with pytest.raises(ValueError):
+            BlockExecutor(tiny_trained.blocks[0], pipeline, "tiny_vit.blocks.0")
+        pipeline.detach()
+
+    def test_requires_calibration(self, tiny_trained):
+        pipeline = PTQPipeline(tiny_trained, method="quq", bits=8, coverage="full")
+        with pytest.raises(RuntimeError):
+            BlockExecutor(tiny_trained.blocks[0], pipeline, "tiny_vit.blocks.0")
+
+    def test_matches_fake_quantized_block(self, tiny_trained, quq_pipeline, block_tokens):
+        tokens, fq_output = block_tokens
+        executor = BlockExecutor(
+            tiny_trained.blocks[0], quq_pipeline, "tiny_vit.blocks.0", bits=8
+        )
+        hw_output = executor.run(tokens)
+        correlation = np.corrcoef(hw_output.reshape(-1), fq_output.reshape(-1))[0, 1]
+        assert correlation > 0.999
+        rel_err = np.abs(hw_output - fq_output).max() / np.abs(fq_output).max()
+        assert rel_err < 0.05
+
+    def test_integer_sfu_variant_close(self, tiny_trained, quq_pipeline, block_tokens):
+        tokens, fq_output = block_tokens
+        executor = BlockExecutor(
+            tiny_trained.blocks[0], quq_pipeline, "tiny_vit.blocks.0", bits=8,
+            integer_sfu=True,
+        )
+        hw_output = executor.run(tokens)
+        correlation = np.corrcoef(hw_output.reshape(-1), fq_output.reshape(-1))[0, 1]
+        assert correlation > 0.995
+
+    def test_output_shape_preserved(self, tiny_trained, quq_pipeline, block_tokens):
+        tokens, _ = block_tokens
+        executor = BlockExecutor(
+            tiny_trained.blocks[0], quq_pipeline, "tiny_vit.blocks.0", bits=8
+        )
+        assert executor.run(tokens).shape == tokens.shape
+
+
+class TestModelExecutor:
+    def test_whole_model_matches_fake_quant(
+        self, tiny_trained, quq_pipeline, calib_images
+    ):
+        from repro.hw import ModelExecutor
+        from repro.training import predict_logits
+
+        images = calib_images[:8]
+        quq_pipeline.attach()
+        fq_logits = predict_logits(tiny_trained, images)
+        executor = ModelExecutor(tiny_trained, quq_pipeline, bits=8)
+        quq_pipeline.detach()
+        hw_logits = executor.run(images.astype(np.float64))
+        agreement = np.mean(fq_logits.argmax(-1) == hw_logits.argmax(-1))
+        assert agreement >= 0.75
+        correlation = np.corrcoef(fq_logits.reshape(-1), hw_logits.reshape(-1))[0, 1]
+        assert correlation > 0.99
+
+    def test_rejects_non_quq(self, tiny_trained, calib_images):
+        from repro.hw import ModelExecutor
+
+        pipeline = PTQPipeline(tiny_trained, method="baseq", bits=8, coverage="full")
+        pipeline.calibrate(calib_images)
+        with pytest.raises(ValueError):
+            ModelExecutor(tiny_trained, pipeline)
+        pipeline.detach()

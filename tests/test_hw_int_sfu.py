@@ -1,0 +1,119 @@
+"""Tests for the integer-only special-function kernels (I-BERT/I-ViT style)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.special import erf
+
+from repro.hw import i_exp, i_gelu, i_layernorm, i_softmax, i_sqrt
+
+
+class TestISqrt:
+    def test_exact_small_values(self):
+        n = np.arange(0, 200)
+        np.testing.assert_array_equal(i_sqrt(n), np.floor(np.sqrt(n)).astype(np.int64))
+
+    @given(st.integers(0, 2**52))
+    @settings(max_examples=200, deadline=None)
+    def test_property_floor_sqrt(self, n):
+        root = int(i_sqrt(np.array([n]))[0])
+        assert root * root <= n
+        assert (root + 1) * (root + 1) > n
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            i_sqrt(np.array([-1]))
+
+
+class TestIExp:
+    def test_matches_float_exp(self, rng):
+        x = -np.abs(rng.normal(size=500)) * 4
+        scale = 2.0**-12
+        q = np.rint(x / scale).astype(np.int64)
+        q_out, s_out = i_exp(q, scale)
+        err = np.abs(q_out * s_out - np.exp(x))
+        assert err.max() < 0.02
+
+    def test_rejects_positive_inputs(self):
+        with pytest.raises(ValueError):
+            i_exp(np.array([1]), 0.01)
+
+    def test_monotone(self, rng):
+        x = -np.sort(np.abs(rng.normal(size=100)) * 3)[::-1]  # ascending
+        scale = 2.0**-12
+        q = np.rint(x / scale).astype(np.int64)
+        q_out, _ = i_exp(q, scale)
+        assert (np.diff(q_out) >= 0).all()
+
+
+class TestISoftmax:
+    def test_close_to_float_softmax(self, rng):
+        x = rng.normal(size=(8, 32)) * 4
+        scale = 2.0**-10
+        q = np.rint(x / scale).astype(np.int64)
+        q_out, s_out = i_softmax(q, scale)
+        ref = np.exp(x - x.max(-1, keepdims=True))
+        ref /= ref.sum(-1, keepdims=True)
+        assert np.abs(q_out * s_out - ref).max() < 0.01
+
+    def test_rows_sum_close_to_one(self, rng):
+        x = rng.normal(size=(4, 16))
+        q = np.rint(x / 2.0**-10).astype(np.int64)
+        q_out, s_out = i_softmax(q, 2.0**-10)
+        sums = (q_out * s_out).sum(-1)
+        np.testing.assert_allclose(sums, np.ones(4), atol=0.01)
+
+    def test_output_codes_fit_declared_width(self, rng):
+        x = rng.normal(size=(4, 16)) * 5
+        q = np.rint(x / 2.0**-10).astype(np.int64)
+        q_out, _ = i_softmax(q, 2.0**-10, out_bits=8)
+        assert q_out.min() >= 0 and q_out.max() <= 255
+
+
+class TestIGelu:
+    def test_matches_float_gelu(self, rng):
+        x = rng.normal(size=1000) * 2
+        scale = 2.0**-10
+        q = np.rint(x / scale).astype(np.int64)
+        q_out, s_out = i_gelu(q, scale)
+        ref = x * 0.5 * (1 + erf(x / np.sqrt(2)))
+        assert np.abs(q_out * s_out - ref).max() < 0.05
+
+    def test_saturates_correctly_at_extremes(self):
+        scale = 2.0**-10
+        q = np.rint(np.array([8.0, -8.0]) / scale).astype(np.int64)
+        q_out, s_out = i_gelu(q, scale)
+        values = q_out * s_out
+        assert values[0] == pytest.approx(8.0, abs=0.1)
+        assert values[1] == pytest.approx(0.0, abs=0.1)
+
+    def test_reflection_identity(self, rng):
+        # gelu(x) + gelu(-x) == x * erf(x / sqrt(2)) for the exact function;
+        # the integer approximation must preserve it within its error budget.
+        x = np.abs(rng.normal(size=200))
+        scale = 2.0**-10
+        qp, sp = i_gelu(np.rint(x / scale).astype(np.int64), scale)
+        qn, sn = i_gelu(np.rint(-x / scale).astype(np.int64), scale)
+        identity = x * erf(x / np.sqrt(2))
+        np.testing.assert_allclose(qp * sp + qn * sn, identity, atol=0.05)
+
+
+class TestILayerNorm:
+    def test_matches_float_layernorm(self, rng):
+        x = rng.normal(size=(16, 64)) * 3 + 2
+        scale = 2.0**-14
+        q = np.rint(x / scale).astype(np.int64)
+        q_out, s_out = i_layernorm(q, scale, out_bits=12)
+        ref = (x - x.mean(-1, keepdims=True)) / x.std(-1, keepdims=True)
+        assert np.abs(q_out * s_out - ref).max() < 0.05
+
+    def test_affine_folding(self, rng):
+        x = rng.normal(size=(4, 32))
+        weight = rng.uniform(0.5, 1.5, size=32)
+        bias = rng.normal(size=32)
+        scale = 2.0**-14
+        q = np.rint(x / scale).astype(np.int64)
+        q_out, s_out = i_layernorm(q, scale, weight=weight, bias=bias, out_bits=12)
+        ref = (x - x.mean(-1, keepdims=True)) / x.std(-1, keepdims=True) * weight + bias
+        assert np.abs(q_out * s_out - ref).max() < 0.1

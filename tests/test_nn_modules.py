@@ -1,0 +1,186 @@
+"""Tests for the nn module system, layers and losses."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import (
+    Dropout,
+    GELU,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    Sequential,
+    Softmax,
+    TapDispatcher,
+    cross_entropy,
+)
+from repro.nn.init import ones, trunc_normal, xavier_uniform, zeros
+
+
+class _Probe(TapDispatcher):
+    def __init__(self):
+        self.calls = []
+
+    def tap(self, name, value):
+        self.calls.append(name)
+        return value
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        class M(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.zeros(3))
+                self.child = Linear(2, 2)
+
+        m = M()
+        names = dict(m.named_parameters())
+        assert "w" in names
+        assert "child.weight" in names and "child.bias" in names
+
+    def test_named_modules_paths(self):
+        m = Sequential(Linear(2, 3), Linear(3, 2))
+        names = [n for n, _ in m.named_modules()]
+        assert "" in names and "0" in names and "1" in names
+
+    def test_train_eval_recursive(self):
+        m = Sequential(Dropout(0.5), Linear(2, 2))
+        m.eval()
+        assert all(not mod.training for mod in m.modules())
+        m.train()
+        assert all(mod.training for mod in m.modules())
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2)
+        out = layer(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        a, b = Linear(3, 4, rng=np.random.default_rng(1)), Linear(3, 4)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_missing_key_rejected(self):
+        a = Linear(3, 4)
+        state = a.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+    def test_state_dict_shape_mismatch_rejected(self):
+        a = Linear(3, 4)
+        state = a.state_dict()
+        state["bias"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_tap_dispatch_with_names(self):
+        m = Sequential(Linear(2, 2))
+        m.assign_tap_names(prefix="model.")
+        probe = _Probe()
+        m.set_tap_dispatcher(probe)
+        m(Tensor(np.ones((1, 2))))
+        assert "model.0.weight" in probe.calls
+        assert "model.0.input" in probe.calls
+
+    def test_tap_detach_restores_identity(self):
+        m = Linear(2, 2)
+        probe = _Probe()
+        m.set_tap_dispatcher(probe)
+        m.set_tap_dispatcher(None)
+        m(Tensor(np.ones((1, 2))))
+        assert probe.calls == []
+
+    def test_module_list(self):
+        ml = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(ml) == 2
+        assert ml[1] is list(ml)[1]
+        assert len(dict(ml.named_parameters())) == 4
+
+
+class TestLayers:
+    def test_linear_matches_manual(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        x = rng.normal(size=(2, 4)).astype(np.float32)
+        out = layer(Tensor(x))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(out.data, expected, rtol=1e-5)
+
+    def test_linear_no_bias(self):
+        layer = Linear(4, 3, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_layernorm_statistics(self, rng):
+        layer = LayerNorm(8)
+        out = layer(Tensor(rng.normal(size=(4, 8)).astype(np.float32) * 5))
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(4), atol=1e-5)
+
+    def test_gelu_softmax_modules(self, rng):
+        x = Tensor(rng.normal(size=(2, 5)).astype(np.float32))
+        assert GELU()(x).shape == (2, 5)
+        np.testing.assert_allclose(Softmax()(x).data.sum(-1), np.ones(2), rtol=1e-5)
+
+    def test_dropout_eval_is_identity(self, rng):
+        d = Dropout(0.5, rng=rng)
+        d.eval()
+        x = rng.normal(size=(10,)).astype(np.float32)
+        np.testing.assert_allclose(d(Tensor(x)).data, x)
+
+    def test_dropout_train_scales(self):
+        d = Dropout(0.5, rng=np.random.default_rng(0))
+        out = d(Tensor(np.ones(10000, dtype=np.float32)))
+        # Inverted dropout keeps the expectation ~1.
+        assert abs(out.data.mean() - 1.0) < 0.05
+        assert set(np.unique(out.data)) <= {0.0, 2.0}
+
+    def test_dropout_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestLoss:
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]], dtype=np.float32))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert float(loss.data) < 1e-4
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((4, 10), dtype=np.float32))
+        loss = cross_entropy(logits, np.zeros(4, dtype=np.int64))
+        np.testing.assert_allclose(float(loss.data), np.log(10), rtol=1e-5)
+
+    def test_label_smoothing_raises_floor(self):
+        logits = Tensor(np.array([[100.0, 0.0]], dtype=np.float32))
+        plain = cross_entropy(logits, np.array([0]))
+        smoothed = cross_entropy(logits, np.array([0]), label_smoothing=0.1)
+        assert float(smoothed.data) > float(plain.data)
+
+    def test_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 3), dtype=np.float32), requires_grad=True)
+        cross_entropy(logits, np.array([1])).backward()
+        grad = logits.grad[0]
+        assert grad[1] < 0 and grad[0] > 0 and grad[2] > 0
+
+
+class TestInit:
+    def test_trunc_normal_bounds(self, rng):
+        w = trunc_normal((1000,), rng, std=0.02)
+        assert np.abs(w).max() <= 0.04 + 1e-6
+        assert w.dtype == np.float32
+
+    def test_xavier_range(self, rng):
+        w = xavier_uniform((100, 50), rng)
+        limit = np.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= limit + 1e-6
+
+    def test_zeros_ones(self):
+        assert zeros((2,)).sum() == 0
+        assert ones((2,)).sum() == 2

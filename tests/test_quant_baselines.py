@@ -1,0 +1,131 @@
+"""Tests for the baseline quantizers (BiScaled-FxP, FQ-ViT, PTQ4ViT)."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    BiScaledQuantizer,
+    Log2Quantizer,
+    TwinUniformQuantizer,
+    UniformQuantizer,
+    mse,
+)
+
+
+class TestBiScaled:
+    def test_beats_uniform_on_long_tails(self, rng):
+        x = rng.standard_t(df=2, size=20000)
+        bi = BiScaledQuantizer(6).fit(x)
+        uni = UniformQuantizer(6).fit(x)
+        assert mse(x, bi.fake_quantize(x)) < mse(x, uni.fake_quantize(x))
+
+    def test_threshold_between_scales(self, rng):
+        bi = BiScaledQuantizer(6).fit(rng.standard_t(df=3, size=5000))
+        assert bi.delta_bulk <= bi.delta_outlier
+        assert bi.threshold > 0
+
+    def test_outliers_not_clipped_to_bulk_range(self, rng):
+        x = np.concatenate([rng.normal(size=5000) * 0.01, [5.0, -5.0]])
+        bi = BiScaledQuantizer(8).fit(x)
+        out = bi.fake_quantize(x)
+        assert out[-2] > 4.0 and out[-1] < -4.0
+
+    def test_index_table_overhead_reported(self, rng):
+        bi = BiScaledQuantizer(6).fit(rng.standard_t(df=2, size=5000))
+        assert bi.bits_per_element() > 6.0
+
+    def test_all_zero_input(self):
+        bi = BiScaledQuantizer(6).fit(np.zeros(100))
+        np.testing.assert_array_equal(bi.fake_quantize(np.zeros(5)), np.zeros(5))
+
+    def test_scaled_copy(self, rng):
+        bi = BiScaledQuantizer(6).fit(rng.normal(size=1000))
+        s = bi.scaled(2.0)
+        assert s.delta_bulk == pytest.approx(2 * bi.delta_bulk)
+        assert s.threshold == pytest.approx(2 * bi.threshold)
+
+
+class TestLog2:
+    def test_powers_of_two_exact(self):
+        q = Log2Quantizer(4).fit(np.array([0.5, 0.25, 1.0]))
+        np.testing.assert_allclose(
+            q.fake_quantize(np.array([0.5, 0.25, 1.0])), [0.5, 0.25, 1.0]
+        )
+
+    def test_zero_maps_to_zero(self):
+        q = Log2Quantizer(4).fit(np.array([0.0, 0.5]))
+        assert q.fake_quantize(np.array([0.0]))[0] == 0.0
+
+    def test_rejects_negative_input(self):
+        with pytest.raises(ValueError):
+            Log2Quantizer(4).fit(np.array([-0.1]))
+
+    def test_fine_near_zero_coarse_near_one(self):
+        # Log2 resolution is relative: small probabilities keep small
+        # relative error, which is the attention-map-friendly property.
+        q = Log2Quantizer(6).fit(np.array([0.5]))
+        small = np.array([0.001, 0.0011])
+        out = q.fake_quantize(small)
+        assert np.abs(out - small).max() / small.max() < 0.5
+
+    def test_good_on_softmax_distribution(self, rng):
+        p = rng.dirichlet(np.ones(100), size=50).reshape(-1)
+        q = Log2Quantizer(4).fit(p)
+        uni = UniformQuantizer(4).fit(p)
+        assert mse(p, q.fake_quantize(p)) < mse(p, uni.fake_quantize(p))
+
+
+class TestTwinUniform:
+    def test_sign_split_handles_gelu(self, rng):
+        from scipy.special import erf
+
+        g = rng.normal(size=20000)
+        x = g * 0.5 * (1 + erf(g / np.sqrt(2)))
+        twin = TwinUniformQuantizer(6, split="sign").fit(x)
+        uni = UniformQuantizer(6).fit(x)
+        assert mse(x, twin.fake_quantize(x)) < mse(x, uni.fake_quantize(x))
+
+    def test_magnitude_split_handles_softmax(self, rng):
+        p = rng.dirichlet(np.ones(64), size=100).reshape(-1)
+        twin = TwinUniformQuantizer(6, split="magnitude").fit(p)
+        uni = UniformQuantizer(6).fit(p)
+        assert mse(p, twin.fake_quantize(p)) < mse(p, uni.fake_quantize(p))
+
+    def test_power_of_two_scale_relationship(self, rng):
+        twin = TwinUniformQuantizer(6, split="sign").fit(rng.standard_t(df=3, size=5000))
+        ratio = np.log2(twin.delta_large / twin.delta_small)
+        assert abs(ratio - round(ratio)) < 1e-9
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(ValueError):
+            TwinUniformQuantizer(6, split="diagonal")
+
+    def test_scaled_copy(self, rng):
+        twin = TwinUniformQuantizer(6).fit(rng.normal(size=1000))
+        s = twin.scaled(0.5)
+        assert s.delta_small == pytest.approx(0.5 * twin.delta_small)
+
+
+class TestMetrics:
+    def test_mse_zero_for_identical(self, rng):
+        x = rng.normal(size=100)
+        assert mse(x, x) == 0.0
+
+    def test_mse_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_sqnr_increases_with_bits(self, rng):
+        from repro.quant import sqnr_db
+
+        x = rng.normal(size=5000)
+        low = sqnr_db(x, UniformQuantizer(4).fit(x).fake_quantize(x))
+        high = sqnr_db(x, UniformQuantizer(8).fit(x).fake_quantize(x))
+        assert high > low
+
+    def test_cosine_similarity_bounds(self, rng):
+        from repro.quant import cosine_similarity
+
+        x = rng.normal(size=100)
+        assert cosine_similarity(x, x) == pytest.approx(1.0)
+        assert cosine_similarity(x, -x) == pytest.approx(-1.0)

@@ -1,0 +1,75 @@
+"""Tests for the alternative range-calibration strategies."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    CALIBRATION_STRATEGIES,
+    UniformQuantizer,
+    absmax_bound,
+    calibrated_uniform,
+    kl_bound,
+    mse_bound,
+    mse,
+    percentile_bound,
+)
+
+
+@pytest.fixture(scope="module")
+def long_tail():
+    return np.random.default_rng(0).standard_t(df=2, size=50000)
+
+
+class TestBounds:
+    def test_absmax_is_max(self, long_tail):
+        assert absmax_bound(long_tail, 8) == pytest.approx(np.abs(long_tail).max())
+
+    def test_percentile_below_max(self, long_tail):
+        assert percentile_bound(long_tail, 8, 99.9) < absmax_bound(long_tail, 8)
+
+    def test_mse_bound_clips_heavy_tails(self, long_tail):
+        assert mse_bound(long_tail, 4) < absmax_bound(long_tail, 4)
+
+    def test_kl_bound_within_range(self, long_tail):
+        bound = kl_bound(long_tail, 8)
+        assert 0 < bound <= np.abs(long_tail).max() * 1.001
+
+    def test_degenerate_inputs(self):
+        for fn in (absmax_bound, percentile_bound, mse_bound, kl_bound):
+            assert fn(np.zeros(10), 8) > 0
+            assert fn(np.array([]), 8) > 0
+
+
+class TestCalibratedUniform:
+    def test_absmax_matches_default_fit(self, long_tail):
+        via_strategy = calibrated_uniform(long_tail, 8, "absmax")
+        via_fit = UniformQuantizer(8).fit(long_tail)
+        assert via_strategy.delta == pytest.approx(via_fit.delta)
+
+    @pytest.mark.parametrize("strategy", sorted(CALIBRATION_STRATEGIES))
+    def test_all_strategies_produce_working_quantizer(self, long_tail, strategy):
+        quantizer = calibrated_uniform(long_tail, 6, strategy)
+        out = quantizer.fake_quantize(long_tail)
+        assert out.shape == long_tail.shape
+        assert np.isfinite(out).all()
+
+    def test_clipping_strategies_beat_absmax_on_heavy_tails(self, long_tail):
+        # MSE/percentile help at low precision; KL (which matches the
+        # distribution rather than the squared error) at higher precision.
+        base4 = mse(long_tail, calibrated_uniform(long_tail, 4, "absmax").fake_quantize(long_tail))
+        for strategy in ("mse", "percentile"):
+            err = mse(
+                long_tail,
+                calibrated_uniform(long_tail, 4, strategy).fake_quantize(long_tail),
+            )
+            assert err < base4
+        # KL optimizes distribution match, not MSE: assert its structural
+        # behaviour instead — it clips, but only a small mass fraction.
+        bound = kl_bound(long_tail, 8)
+        assert bound < absmax_bound(long_tail, 8)
+        clipped_fraction = float(np.mean(np.abs(long_tail) > bound))
+        assert clipped_fraction < 0.15
+
+    def test_unknown_strategy_rejected(self, long_tail):
+        with pytest.raises(ValueError):
+            calibrated_uniform(long_tail, 8, "entropy2")

@@ -1,0 +1,55 @@
+"""Property tests: the fast fake-quantization path equals the code path."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.special import erf
+
+from repro.quant import QUQQuantizer
+from repro.quant.quq import fake_quantize_with_params, quantize_with_params
+
+
+def _sample(kind: str, seed: int, size: int = 3000) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    if kind == "long_tail":
+        return rng.standard_t(df=2.5, size=size) * rng.uniform(1e-3, 10)
+    if kind == "gauss":
+        return rng.normal(size=size) * rng.uniform(1e-3, 10)
+    if kind == "nonneg":
+        return np.abs(rng.standard_t(df=3, size=size))
+    if kind == "nonpos":
+        return -np.abs(rng.standard_t(df=3, size=size))
+    g = rng.normal(size=size)
+    return g * 0.5 * (1 + erf(g / np.sqrt(2)))  # gelu
+
+
+class TestFastPathEquivalence:
+    @given(
+        st.sampled_from(["long_tail", "gauss", "nonneg", "nonpos", "gelu"]),
+        st.integers(0, 10_000),
+        st.sampled_from([4, 6, 8]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_code_path(self, kind, seed, bits):
+        x = _sample(kind, seed)
+        params = QUQQuantizer(bits).fit(x).params
+        slow = quantize_with_params(x, params).dequantize()
+        fast = fake_quantize_with_params(x, params)
+        np.testing.assert_allclose(fast, slow, atol=1e-6, rtol=1e-6)
+
+    def test_preserves_dtype_and_shape(self):
+        x = np.random.default_rng(0).normal(size=(7, 9)).astype(np.float32)
+        params = QUQQuantizer(6).fit(x).params
+        out = fake_quantize_with_params(x, params)
+        assert out.dtype == np.float32
+        assert out.shape == (7, 9)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_projection_property(self, seed):
+        x = _sample("long_tail", seed)
+        params = QUQQuantizer(6).fit(x).params
+        once = fake_quantize_with_params(x, params)
+        np.testing.assert_allclose(
+            fake_quantize_with_params(once, params), once, atol=1e-6
+        )

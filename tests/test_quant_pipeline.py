@@ -1,0 +1,222 @@
+"""Tests for tap classification, QuantEnv and the PTQ pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.quant import (
+    METHODS,
+    PTQPipeline,
+    QuantEnv,
+    TapKind,
+    UniformQuantizer,
+    classify_tap,
+    hessian_refine,
+    make_quantizer,
+    taps_for_coverage,
+)
+from repro.quant.baselines.fqvit import Log2Quantizer
+from repro.quant.baselines.ptq4vit import TwinUniformQuantizer
+from repro.quant.uniform import RowwiseUniformQuantizer
+from repro.training import evaluate_top1
+from repro import quantize_model
+
+
+class TestTapClassification:
+    @pytest.mark.parametrize(
+        "name,kind",
+        [
+            ("m.blocks.0.attn.qkv.weight", TapKind.WEIGHT),
+            ("m.blocks.0.attn.qkv.input", TapKind.GEMM_INPUT),
+            ("m.blocks.0.attn.q", TapKind.GEMM_INPUT),
+            ("m.blocks.0.attn.probs", TapKind.GEMM_INPUT),
+            ("m.blocks.0.attn.scores", TapKind.SOFTMAX_INPUT),
+            ("m.blocks.0.mlp.act.input", TapKind.GELU_INPUT),
+            ("m.final_norm_input", TapKind.NORM_INPUT),
+            ("m.merges.0.merge_norm_input", TapKind.NORM_INPUT),
+            ("m.blocks.0.block_input", TapKind.RESIDUAL),
+            ("m.blocks.0.attn_residual", TapKind.RESIDUAL),
+            ("m.head.input", TapKind.GEMM_INPUT),
+        ],
+    )
+    def test_classification(self, name, kind):
+        assert classify_tap(name) is kind
+
+    def test_unknown_tap_rejected(self):
+        with pytest.raises(ValueError):
+            classify_tap("m.unknown_tap")
+
+    def test_partial_coverage_is_gemm_only(self):
+        assert taps_for_coverage(TapKind.WEIGHT, "partial")
+        assert taps_for_coverage(TapKind.GEMM_INPUT, "partial")
+        assert not taps_for_coverage(TapKind.SOFTMAX_INPUT, "partial")
+        assert not taps_for_coverage(TapKind.RESIDUAL, "partial")
+
+    def test_full_coverage_covers_everything(self):
+        assert all(taps_for_coverage(kind, "full") for kind in TapKind)
+
+    def test_invalid_coverage_rejected(self):
+        with pytest.raises(ValueError):
+            taps_for_coverage(TapKind.WEIGHT, "half")
+
+
+class TestQuantEnv:
+    def test_observe_records_copies(self):
+        env = QuantEnv()
+        env.phase = "observe"
+        value = Tensor(np.ones((2, 3), dtype=np.float32))
+        env.tap("a", value)
+        value.data[:] = 7.0
+        np.testing.assert_allclose(env.observed("a"), np.ones(6))
+
+    def test_quantize_phase_applies_quantizer(self, rng):
+        env = QuantEnv()
+        env.phase = "quantize"
+        env.quantizers["a"] = UniformQuantizer(4).fit(rng.normal(size=100))
+        x = Tensor(rng.normal(size=(5,)).astype(np.float32))
+        out = env.tap("a", x)
+        assert not np.allclose(out.data, x.data)
+
+    def test_unregistered_tap_passthrough(self, rng):
+        env = QuantEnv()
+        env.phase = "quantize"
+        x = Tensor(rng.normal(size=(5,)).astype(np.float32))
+        assert env.tap("unseen", x) is x
+
+    def test_watch_filter(self):
+        env = QuantEnv()
+        env.phase = "observe"
+        env.watched = {"a"}
+        env.tap("b", Tensor(np.ones(3)))
+        with pytest.raises(KeyError):
+            env.observed("b")
+
+    def test_grad_capture(self):
+        env = QuantEnv()
+        env.phase = "observe"
+        env.capture_grads = True
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        out = env.tap("a", x)
+        (out * 2.0).backward()
+        np.testing.assert_allclose(env.observed_gradients("a"), [2.0, 2.0, 2.0])
+
+
+class TestMakeQuantizer:
+    def test_method_specific_choices(self):
+        assert isinstance(
+            make_quantizer("fqvit", TapKind.WEIGHT, "m.qkv.weight", 6),
+            RowwiseUniformQuantizer,
+        )
+        assert isinstance(
+            make_quantizer("fqvit", TapKind.GEMM_INPUT, "m.attn.probs", 6),
+            Log2Quantizer,
+        )
+        assert isinstance(
+            make_quantizer("ptq4vit", TapKind.GEMM_INPUT, "m.attn.probs", 6),
+            TwinUniformQuantizer,
+        )
+        assert isinstance(
+            make_quantizer("ptq4vit", TapKind.GEMM_INPUT, "m.mlp.fc2.input", 6),
+            TwinUniformQuantizer,
+        )
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            make_quantizer("awq", TapKind.WEIGHT, "w", 6)
+
+
+class TestPTQPipeline:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_calibrate_all_methods(self, method, tiny_trained, calib_images, tiny_data):
+        pipeline = PTQPipeline(tiny_trained, method=method, bits=8, coverage="full")
+        pipeline.calibrate(calib_images)
+        assert pipeline.calibrated
+        assert len(pipeline.tap_names()) > 10
+        _, val_set = tiny_data
+        acc = evaluate_top1(tiny_trained, val_set)
+        assert acc > 15.0  # 8-bit must stay far above the 10% chance level
+        pipeline.detach()
+
+    def test_partial_covers_fewer_taps(self, tiny_trained, calib_images):
+        full = PTQPipeline(tiny_trained, "baseq", 8, "full").calibrate(calib_images)
+        n_full = len(full.tap_names())
+        full.detach()
+        partial = PTQPipeline(tiny_trained, "baseq", 8, "partial").calibrate(calib_images)
+        n_partial = len(partial.tap_names())
+        partial.detach()
+        assert n_partial < n_full
+        assert all(
+            classify_tap(n) in (TapKind.WEIGHT, TapKind.GEMM_INPUT)
+            for n in partial.tap_names()
+        )
+
+    def test_detach_restores_float(self, tiny_trained, calib_images, tiny_data):
+        _, val_set = tiny_data
+        reference = evaluate_top1(tiny_trained, val_set)
+        pipeline = PTQPipeline(tiny_trained, "baseq", 4, "full").calibrate(calib_images)
+        quantized = evaluate_top1(tiny_trained, val_set)
+        pipeline.detach()
+        restored = evaluate_top1(tiny_trained, val_set)
+        assert restored == pytest.approx(reference)
+        assert quantized != pytest.approx(reference)
+
+    def test_attach_after_detach(self, tiny_trained, calib_images):
+        pipeline = PTQPipeline(tiny_trained, "baseq", 6, "full").calibrate(calib_images)
+        pipeline.detach()
+        pipeline.attach()
+        assert pipeline.env.phase == "quantize"
+        pipeline.detach()
+
+    def test_invalid_args_rejected(self, tiny_trained):
+        with pytest.raises(ValueError):
+            PTQPipeline(tiny_trained, method="gptq")
+        with pytest.raises(ValueError):
+            PTQPipeline(tiny_trained, coverage="most")
+
+    def test_average_bits_accounting(self, tiny_trained, calib_images):
+        pipeline = PTQPipeline(tiny_trained, "fqvit", 6, "full").calibrate(calib_images)
+        # Row-wise weights push the average above the nominal bit-width.
+        assert pipeline.average_bits_per_element() > 6.0
+        pipeline.detach()
+
+    def test_quantizer_for_unknown_tap(self, tiny_trained, calib_images):
+        pipeline = PTQPipeline(tiny_trained, "baseq", 6, "full").calibrate(calib_images)
+        with pytest.raises(KeyError):
+            pipeline.quantizer_for("nonexistent")
+        pipeline.detach()
+
+
+class TestHessianRefine:
+    def test_refine_returns_alpha_per_tap(self, tiny_trained, calib_images):
+        pipeline = PTQPipeline(tiny_trained, "quq", 6, "full").calibrate(calib_images)
+        chosen = hessian_refine(pipeline, calib_images)
+        assert set(chosen) == set(pipeline.tap_names())
+        assert all(0.4 <= a <= 1.3 for a in chosen.values())
+        pipeline.detach()
+
+    def test_refine_requires_calibration(self, tiny_trained, calib_images):
+        pipeline = PTQPipeline(tiny_trained, "quq", 6, "full")
+        with pytest.raises(RuntimeError):
+            hessian_refine(pipeline, calib_images)
+
+    def test_refine_does_not_hurt_low_bit_accuracy(
+        self, tiny_trained, calib_images, tiny_data
+    ):
+        _, val_set = tiny_data
+        pipeline = PTQPipeline(tiny_trained, "baseq", 4, "full").calibrate(calib_images)
+        before = evaluate_top1(tiny_trained, val_set.subset(64, seed=0))
+        hessian_refine(pipeline, calib_images)
+        after = evaluate_top1(tiny_trained, val_set.subset(64, seed=0))
+        pipeline.detach()
+        assert after >= before - 5.0  # refinement must not collapse accuracy
+
+
+class TestQuantizeModelAPI:
+    def test_end_to_end(self, tiny_trained, calib_images, tiny_data):
+        _, val_set = tiny_data
+        pipeline = quantize_model(
+            tiny_trained, calib_images, method="quq", bits=8, coverage="full"
+        )
+        acc = evaluate_top1(tiny_trained, val_set)
+        pipeline.detach()
+        assert acc > 15.0

@@ -1,0 +1,145 @@
+"""Tests for the QUB codec (Eq. 6-7) and FC registers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.special import erf
+
+from repro.quant import (
+    FCRegisters,
+    MAX_SHIFT,
+    QUQQuantizer,
+    SpaceRegister,
+    decode,
+    encode,
+    legalize_for_hardware,
+)
+
+
+class TestSpaceRegister:
+    @given(st.integers(0, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_pack_unpack_roundtrip(self, byte):
+        reg = SpaceRegister.unpack(byte)
+        repacked = SpaceRegister.unpack(reg.pack())
+        assert reg == repacked
+
+    def test_bit_layout(self):
+        reg = SpaceRegister(both_sides=True, negative_reserved=False, shift_neg=5, shift_pos=2)
+        byte = reg.pack()
+        assert byte >> 7 == 1
+        assert (byte >> 3) & 0b111 == 5
+        assert byte & 0b111 == 2
+
+    def test_negative_reserved_suppressed_when_both_sides(self):
+        reg = SpaceRegister(both_sides=True, negative_reserved=True, shift_neg=0, shift_pos=0)
+        assert (reg.pack() >> 6) & 1 == 0
+
+    def test_shift_field_width_enforced(self):
+        with pytest.raises(ValueError):
+            SpaceRegister(False, False, 8, 0)
+
+    def test_unpack_range_check(self):
+        with pytest.raises(ValueError):
+            SpaceRegister.unpack(256)
+
+
+def _roundtrip_case(x, bits):
+    q = QUQQuantizer(bits).fit(x)
+    q.params = legalize_for_hardware(q.params)
+    qt = q.quantize(x)
+    qubs, registers = encode(qt)
+    d, n_sh = decode(qubs, registers, bits)
+    recon = d.astype(np.float64) * (2.0**n_sh) * q.params.base_delta
+    return qt, qubs, d, n_sh, recon
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("bits", [4, 6, 8])
+    def test_two_sided_exact(self, rng, bits):
+        x = rng.standard_t(df=3, size=4000) * 0.2
+        qt, qubs, d, n_sh, recon = _roundtrip_case(x, bits)
+        np.testing.assert_allclose(recon, qt.dequantize(), rtol=1e-6, atol=1e-9)
+
+    @pytest.mark.parametrize("bits", [4, 6, 8])
+    def test_nonnegative_exact(self, rng, bits):
+        x = rng.dirichlet(np.ones(64), size=50).reshape(-1)
+        qt, _, _, _, recon = _roundtrip_case(x, bits)
+        np.testing.assert_allclose(recon, qt.dequantize(), rtol=1e-6, atol=1e-9)
+
+    @pytest.mark.parametrize("bits", [4, 6, 8])
+    def test_gelu_mode_c_exact(self, rng, bits):
+        g = rng.normal(size=4000)
+        x = g * 0.5 * (1 + erf(g / np.sqrt(2)))
+        qt, _, _, _, recon = _roundtrip_case(x, bits)
+        np.testing.assert_allclose(recon, qt.dequantize(), rtol=1e-6, atol=1e-9)
+
+    def test_nonpositive_zero_clamp_documented(self, rng):
+        # One-sided negative space has no zero pattern: exact zeros decode
+        # one step below.  Everything else must round-trip exactly.
+        x = -np.abs(rng.standard_t(df=3, size=2000))
+        x[:10] = 0.0
+        qt, _, _, _, recon = _roundtrip_case(x, 6)
+        ref = qt.dequantize()
+        diff = np.abs(recon - ref)
+        assert (diff[ref != 0] <= np.abs(ref[ref != 0]) * 1e-6 + 1e-9).all()
+        assert diff.max() <= qt.params.base_delta * (2.0**MAX_SHIFT) + 1e-9
+
+    @given(st.integers(0, 500), st.sampled_from([4, 6, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip(self, seed, bits):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_t(df=3, size=1000) * rng.uniform(1e-3, 100)
+        qt, _, _, _, recon = _roundtrip_case(x, bits)
+        np.testing.assert_allclose(recon, qt.dequantize(), rtol=1e-6, atol=1e-9)
+
+
+class TestDecodedOperandWidth:
+    @pytest.mark.parametrize("bits", [4, 6, 8])
+    def test_d_fits_signed_multiplier(self, rng, bits):
+        """Section 4.1's claim: a b-bit signed multiplier handles any mode."""
+        x = rng.standard_t(df=3, size=3000)
+        _, _, d, n_sh, _ = _roundtrip_case(x, bits)
+        assert d.min() >= -(2 ** (bits - 1))
+        assert d.max() <= 2 ** (bits - 1) - 1
+        assert n_sh.min() >= 0 and n_sh.max() <= MAX_SHIFT
+
+    def test_qub_dtype_single_byte(self, rng):
+        x = rng.normal(size=100)
+        q = QUQQuantizer(8).fit(x)
+        qubs, _ = encode(q.quantize(x))
+        assert qubs.dtype == np.uint8
+
+
+class TestLegalization:
+    def test_pathological_shifts_reduced(self, rng):
+        x = np.concatenate([rng.normal(size=10000) * 1e-5, rng.normal(size=5) * 10])
+        q = QUQQuantizer(8).fit(x)
+        legal = legalize_for_hardware(q.params)
+        for subrange, _ in legal.active():
+            assert legal.shift(subrange) <= MAX_SHIFT
+
+    def test_already_legal_untouched(self, rng):
+        q = QUQQuantizer(6).fit(rng.normal(size=1000))
+        legal = legalize_for_hardware(q.params)
+        assert legal == q.params
+
+    def test_legalized_params_still_valid(self, rng):
+        x = np.concatenate([rng.normal(size=10000) * 1e-5, rng.normal(size=5) * 10])
+        legal = legalize_for_hardware(QUQQuantizer(6).fit(x).params)
+        assert sum(s.levels for _, s in legal.active()) == 64
+
+
+class TestFCRegistersFromParams:
+    def test_mode_a_both_sides(self, rng):
+        q = QUQQuantizer(6).fit(rng.standard_t(df=2, size=20000))
+        regs = FCRegisters.from_params(q.params)
+        assert regs.fine.both_sides
+        assert regs.coarse.both_sides
+
+    def test_mode_b_positive_reserved(self, rng):
+        q = QUQQuantizer(6).fit(np.abs(rng.standard_t(df=3, size=5000)))
+        regs = FCRegisters.from_params(q.params)
+        assert not regs.fine.both_sides
+        assert not regs.fine.negative_reserved

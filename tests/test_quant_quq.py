@@ -1,0 +1,217 @@
+"""Tests for the QUQ quantizer (Eq. 3) and its structural guarantees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.special import erf
+
+from repro.quant import (
+    Mode,
+    QUQParams,
+    QUQQuantizer,
+    SUBRANGE_IDS,
+    Subrange,
+    SubrangeSpec,
+    UniformQuantizer,
+    quantize_with_params,
+)
+
+
+def _gelu(x):
+    return x * 0.5 * (1 + erf(x / np.sqrt(2)))
+
+
+@pytest.fixture(scope="module")
+def distributions():
+    rng = np.random.default_rng(42)
+    return {
+        "long_tail": rng.standard_t(df=2.5, size=20000) * 0.1,
+        "softmax": rng.dirichlet(np.ones(64), size=200).reshape(-1),
+        "gelu": _gelu(rng.normal(size=20000)),
+        "gauss": rng.normal(size=20000) * 0.02,
+    }
+
+
+class TestQUQParams:
+    def test_encoding_budget_enforced(self):
+        with pytest.raises(ValueError):
+            QUQParams(
+                4,
+                f_neg=SubrangeSpec(1.0, 4),
+                f_pos=SubrangeSpec(1.0, 4),
+                c_neg=SubrangeSpec(4.0, 4),
+                c_pos=None,  # only 12 of 16 levels
+            )
+
+    def test_eq4_power_of_two_enforced(self):
+        with pytest.raises(ValueError):
+            QUQParams(
+                4,
+                f_neg=SubrangeSpec(1.0, 4),
+                f_pos=SubrangeSpec(3.0, 4),  # 3.0 is not a power-of-two multiple
+                c_neg=SubrangeSpec(4.0, 4),
+                c_pos=SubrangeSpec(4.0, 4),
+            )
+
+    def test_per_space_level_cap(self):
+        with pytest.raises(ValueError):
+            QUQParams(4, f_neg=None, f_pos=SubrangeSpec(1.0, 16), c_neg=None, c_pos=None)
+
+    def test_shift_values(self):
+        params = QUQParams(
+            4,
+            f_neg=SubrangeSpec(1.0, 4),
+            f_pos=SubrangeSpec(1.0, 4),
+            c_neg=SubrangeSpec(4.0, 4),
+            c_pos=SubrangeSpec(8.0, 4),
+        )
+        assert params.shift(Subrange.F_POS) == 0
+        assert params.shift(Subrange.C_NEG) == 2
+        assert params.shift(Subrange.C_POS) == 3
+
+    def test_quantization_points_sorted_unique(self):
+        params = QUQParams(
+            4,
+            f_neg=SubrangeSpec(1.0, 4),
+            f_pos=SubrangeSpec(1.0, 4),
+            c_neg=SubrangeSpec(4.0, 4),
+            c_pos=SubrangeSpec(4.0, 4),
+        )
+        points = params.quantization_points()
+        assert (np.diff(points) > 0).all()
+        assert 0.0 in points
+
+    def test_mode_classification(self):
+        quad = SubrangeSpec(1.0, 4)
+        coarse = SubrangeSpec(4.0, 4)
+        half = SubrangeSpec(1.0, 8)
+        assert QUQParams(4, quad, quad, coarse, coarse).mode is Mode.A
+        assert QUQParams(4, None, half, None, half).mode is Mode.B
+        assert QUQParams(4, quad, quad, None, SubrangeSpec(2.0, 8)).mode is Mode.C
+        assert QUQParams(4, None, half, SubrangeSpec(1.0, 8), None).mode is Mode.D
+
+    def test_describe_mentions_mode(self):
+        half = SubrangeSpec(1.0, 8)
+        assert "Mode B" in QUQParams(4, None, half, None, half).describe()
+
+
+class TestQuantizeWithParams:
+    def test_subrange_assignment_by_magnitude(self):
+        params = QUQParams(
+            4,
+            f_neg=SubrangeSpec(0.1, 4),
+            f_pos=SubrangeSpec(0.1, 4),
+            c_neg=SubrangeSpec(0.8, 4),
+            c_pos=SubrangeSpec(0.8, 4),
+        )
+        qt = quantize_with_params(np.array([0.05, 0.25, 2.0, -0.15, -0.38, -2.0]), params)
+        ids = qt.subranges
+        assert ids[0] == SUBRANGE_IDS[Subrange.F_POS]
+        assert ids[1] == SUBRANGE_IDS[Subrange.F_POS]
+        assert ids[2] == SUBRANGE_IDS[Subrange.C_POS]
+        assert ids[3] == SUBRANGE_IDS[Subrange.F_NEG]
+        assert ids[4] == SUBRANGE_IDS[Subrange.F_NEG]
+        assert ids[5] == SUBRANGE_IDS[Subrange.C_NEG]
+
+    def test_coarse_clipping_at_extremes(self):
+        params = QUQParams(
+            4,
+            f_neg=SubrangeSpec(0.1, 4),
+            f_pos=SubrangeSpec(0.1, 4),
+            c_neg=SubrangeSpec(0.8, 4),
+            c_pos=SubrangeSpec(0.8, 4),
+        )
+        qt = quantize_with_params(np.array([100.0, -100.0]), params)
+        np.testing.assert_allclose(qt.dequantize(), [0.8 * 3, -0.8 * 4])
+
+    def test_zero_maps_to_positive_space(self):
+        params = QUQParams(
+            4,
+            f_neg=SubrangeSpec(0.1, 4),
+            f_pos=SubrangeSpec(0.1, 4),
+            c_neg=SubrangeSpec(0.8, 4),
+            c_pos=SubrangeSpec(0.8, 4),
+        )
+        qt = quantize_with_params(np.array([0.0, -0.01]), params)
+        assert qt.codes[0] == 0
+        # -0.01 rounds to zero; it must be re-homed to the positive space.
+        assert qt.subranges[1] in (
+            SUBRANGE_IDS[Subrange.F_POS],
+            SUBRANGE_IDS[Subrange.C_POS],
+        )
+
+    def test_positive_clip_under_negative_only_params(self):
+        half = SubrangeSpec(0.1, 8)
+        params = QUQParams(4, half, None, SubrangeSpec(0.8, 8), None)
+        qt = quantize_with_params(np.array([0.5]), params)
+        # Positive values clip to the closest representable value (zero).
+        assert qt.codes[0] == 0
+        assert qt.dequantize()[0] == 0.0
+
+
+class TestQUQQuantizer:
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            QUQQuantizer(6).fake_quantize(np.zeros(3))
+
+    @pytest.mark.parametrize("name", ["long_tail", "softmax", "gelu", "gauss"])
+    @pytest.mark.parametrize("bits", [4, 6, 8])
+    def test_never_worse_than_uniform(self, distributions, name, bits):
+        """The paper's Table 1 claim: QUQ MSE <= uniform MSE (all types)."""
+        x = distributions[name]
+        quq = QUQQuantizer(bits).fit(x)
+        uni = UniformQuantizer(bits).fit(x)
+        mse_quq = np.mean((quq.fake_quantize(x) - x) ** 2)
+        mse_uni = np.mean((uni.fake_quantize(x) - x) ** 2)
+        assert mse_quq <= mse_uni * 1.02  # 2% tolerance for rounding ties
+
+    def test_wins_big_on_long_tails(self, distributions):
+        x = distributions["long_tail"]
+        quq = QUQQuantizer(6).fit(x)
+        uni = UniformQuantizer(6).fit(x)
+        mse_quq = np.mean((quq.fake_quantize(x) - x) ** 2)
+        mse_uni = np.mean((uni.fake_quantize(x) - x) ** 2)
+        assert mse_quq < mse_uni / 2
+
+    def test_idempotent_quantization(self, distributions):
+        x = distributions["long_tail"]
+        q = QUQQuantizer(6).fit(x)
+        once = q.fake_quantize(x)
+        twice = q.fake_quantize(once)
+        np.testing.assert_allclose(twice, once)
+
+    def test_scaled_preserves_structure(self, distributions):
+        q = QUQQuantizer(6).fit(distributions["long_tail"])
+        s = q.scaled(0.75)
+        assert s.params.mode == q.params.mode
+        assert s.params.base_delta == pytest.approx(0.75 * q.params.base_delta)
+        for (sub_a, spec_a), (sub_b, spec_b) in zip(q.params.active(), s.params.active()):
+            assert sub_a == sub_b
+            assert spec_a.levels == spec_b.levels
+
+    def test_scaled_rejects_nonpositive(self, distributions):
+        q = QUQQuantizer(6).fit(distributions["gauss"])
+        with pytest.raises(ValueError):
+            q.scaled(0.0)
+
+    @given(st.integers(0, 1000), st.sampled_from([4, 6, 8]))
+    @settings(max_examples=30, deadline=None)
+    def test_property_roundtrip_stability(self, seed, bits):
+        """fake_quantize is a projection: applying twice equals once."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_t(df=3, size=2000) * rng.uniform(0.01, 10)
+        q = QUQQuantizer(bits).fit(x)
+        once = q.fake_quantize(x)
+        np.testing.assert_allclose(q.fake_quantize(once), once, atol=1e-6)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_error_bounded_by_coarsest_delta(self, seed):
+        """In-range values err by at most half the coarsest step."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=2000)
+        q = QUQQuantizer(6).fit(x)
+        coarsest = max(spec.delta for _, spec in q.params.active())
+        err = np.abs(q.fake_quantize(x) - x)
+        assert err.max() <= coarsest / 2 + 1e-6

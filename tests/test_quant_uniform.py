@@ -1,0 +1,131 @@
+"""Tests for uniform quantizers (BaseQ and the FQ-ViT variants)."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    AsymmetricUniformQuantizer,
+    RowwiseUniformQuantizer,
+    UniformQuantizer,
+    symmetric_uniform_dequantize,
+    symmetric_uniform_quantize,
+)
+
+
+class TestEquation1:
+    def test_rounding_to_nearest(self):
+        codes = symmetric_uniform_quantize(np.array([0.0, 0.49, 0.51, -1.49]), 1.0, 8)
+        np.testing.assert_array_equal(codes, [0, 0, 1, -1])
+
+    def test_clipping_range(self):
+        codes = symmetric_uniform_quantize(np.array([1000.0, -1000.0]), 1.0, 4)
+        np.testing.assert_array_equal(codes, [7, -8])
+
+    def test_rejects_nonpositive_delta(self):
+        with pytest.raises(ValueError):
+            symmetric_uniform_quantize(np.zeros(1), 0.0, 8)
+
+    def test_dequantize_inverts_in_range(self, rng):
+        x = rng.uniform(-3, 3, size=100)
+        codes = symmetric_uniform_quantize(x, 0.1, 8)
+        recon = symmetric_uniform_dequantize(codes, 0.1)
+        assert np.abs(recon - x).max() <= 0.05 + 1e-9
+
+
+class TestUniformQuantizer:
+    def test_fit_covers_absmax(self, rng):
+        x = rng.normal(size=1000)
+        q = UniformQuantizer(8).fit(x)
+        assert q.delta == pytest.approx(np.abs(x).max() / 127)
+
+    def test_unfitted_use_rejected(self):
+        with pytest.raises(RuntimeError):
+            UniformQuantizer(8).fake_quantize(np.zeros(3))
+
+    def test_fake_quantize_error_bound(self, rng):
+        x = rng.normal(size=1000)
+        q = UniformQuantizer(8).fit(x)
+        err = np.abs(q.fake_quantize(x) - x)
+        assert err.max() <= q.delta / 2 + 1e-6
+
+    def test_more_bits_less_error(self, rng):
+        x = rng.normal(size=2000)
+        errs = [
+            np.mean((UniformQuantizer(b).fit(x).fake_quantize(x) - x) ** 2)
+            for b in (4, 6, 8)
+        ]
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_percentile_clips_outliers(self, rng):
+        x = np.concatenate([rng.normal(size=1000), [100.0]])
+        full = UniformQuantizer(8).fit(x)
+        clipped = UniformQuantizer(8, percentile=99.0).fit(x)
+        assert clipped.delta < full.delta
+
+    def test_scaled_copy(self, rng):
+        q = UniformQuantizer(8).fit(rng.normal(size=100))
+        s = q.scaled(2.0)
+        assert s.delta == pytest.approx(2 * q.delta)
+        assert s is not q
+
+    def test_all_zero_input(self):
+        q = UniformQuantizer(8).fit(np.zeros(10))
+        np.testing.assert_array_equal(q.fake_quantize(np.zeros(10)), np.zeros(10))
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            UniformQuantizer(1)
+        with pytest.raises(ValueError):
+            UniformQuantizer(8, percentile=0.0)
+
+
+class TestAsymmetricUniformQuantizer:
+    def test_one_sided_range_fully_used(self, rng):
+        x = rng.uniform(0, 1, size=1000)
+        q = AsymmetricUniformQuantizer(8).fit(x)
+        # Affine quantization over [0, 1] gets ~2x the resolution of
+        # symmetric quantization (which wastes the negative half).
+        sym = UniformQuantizer(8).fit(x)
+        assert q.delta < sym.delta
+
+    def test_zero_exactly_representable(self, rng):
+        x = rng.uniform(-0.3, 1.0, size=500)
+        q = AsymmetricUniformQuantizer(8).fit(x)
+        assert q.fake_quantize(np.zeros(1))[0] == pytest.approx(0.0, abs=1e-7)
+
+    def test_roundtrip_error_bound(self, rng):
+        x = rng.uniform(-2, 5, size=500)
+        q = AsymmetricUniformQuantizer(8).fit(x)
+        assert np.abs(q.fake_quantize(x) - x).max() <= q.delta / 2 + 1e-6
+
+
+class TestRowwiseUniformQuantizer:
+    def test_per_row_scales(self):
+        # Row 0 tiny, row 1 huge: row-wise keeps both accurate.
+        w = np.stack([np.linspace(-0.01, 0.01, 8), np.linspace(-10, 10, 8)])
+        q = RowwiseUniformQuantizer(8, axis=0).fit(w.T)  # (in=8, out=2), per column
+        recon = q.fake_quantize(w.T)
+        rel_err = np.abs(recon - w.T) / np.abs(w.T).max(axis=0)
+        assert rel_err.max() < 0.01
+
+    def test_beats_per_tensor_on_heterogeneous_rows(self):
+        w = np.stack([np.linspace(-0.01, 0.01, 64), np.linspace(-10, 10, 64)]).T
+        row = RowwiseUniformQuantizer(4, axis=0).fit(w)
+        tensor = UniformQuantizer(4).fit(w)
+        err_row = np.mean((row.fake_quantize(w) - w) ** 2)
+        err_tensor = np.mean((tensor.fake_quantize(w) - w) ** 2)
+        assert err_row < err_tensor
+
+    def test_bits_per_element_includes_scale_overhead(self, rng):
+        q = RowwiseUniformQuantizer(8, axis=0).fit(rng.normal(size=(16, 4)))
+        assert q.bits_per_element() > 8.0
+
+    def test_row_count_mismatch_rejected(self, rng):
+        q = RowwiseUniformQuantizer(8, axis=0).fit(rng.normal(size=(16, 4)))
+        with pytest.raises(ValueError):
+            q.fake_quantize(rng.normal(size=(16, 5)))
+
+    def test_scaled_copy(self, rng):
+        q = RowwiseUniformQuantizer(8, axis=0).fit(rng.normal(size=(8, 4)))
+        s = q.scaled(0.5)
+        np.testing.assert_allclose(s.deltas, q.deltas * 0.5)

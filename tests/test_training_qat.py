@@ -1,0 +1,49 @@
+"""Tests for quantization-aware fine-tuning."""
+
+import pytest
+
+from repro.quant import PTQPipeline
+from repro.training import evaluate_top1, quantization_aware_finetune
+
+
+class TestQAT:
+    def test_requires_calibration(self, tiny_trained, tiny_data):
+        train_set, _ = tiny_data
+        pipeline = PTQPipeline(tiny_trained, method="quq", bits=4, coverage="full")
+        with pytest.raises(RuntimeError):
+            quantization_aware_finetune(pipeline, train_set, epochs=1)
+
+    def test_finetune_reduces_quantized_loss(self, tiny_data, calib_images):
+        # Use a fresh model so fine-tuning does not disturb the shared
+        # tiny_trained fixture.
+        from repro.models.vit import build_vit
+        from repro.training import TrainConfig, train_classifier
+        from tests.conftest import TINY_VIT
+
+        train_set, val_set = tiny_data
+        model = build_vit(TINY_VIT, seed=1)
+        train_classifier(model, train_set, TrainConfig(epochs=2, batch_size=64, lr=2e-3))
+
+        pipeline = PTQPipeline(model, method="quq", bits=4, coverage="full")
+        pipeline.calibrate(calib_images)
+        before = evaluate_top1(model, val_set.subset(96, seed=2))
+        history = quantization_aware_finetune(
+            pipeline, train_set, epochs=2, lr=3e-4
+        )
+        after = evaluate_top1(model, val_set.subset(96, seed=2))
+        pipeline.detach()
+
+        assert history[-1] <= history[0] + 0.05  # loss does not blow up
+        assert after >= before - 3.0  # and accuracy does not regress
+
+    def test_model_left_in_eval_mode(self, tiny_data, calib_images):
+        from repro.models.vit import build_vit
+        from tests.conftest import TINY_VIT
+
+        train_set, _ = tiny_data
+        model = build_vit(TINY_VIT, seed=2)
+        pipeline = PTQPipeline(model, method="quq", bits=6, coverage="full")
+        pipeline.calibrate(calib_images)
+        quantization_aware_finetune(pipeline, train_set.subset(64, seed=0), epochs=1)
+        pipeline.detach()
+        assert not model.training
