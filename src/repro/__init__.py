@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import analysis, autograd, data, hw, models, nn, quant, training
+from . import analysis, autograd, data, hw, models, nn, quant, serve, training
 from .quant.hessian import hessian_refine
 from .quant.qmodel import PTQPipeline
 from .quant.relax import PRAConfig
@@ -32,6 +32,7 @@ __all__ = [
     "models",
     "nn",
     "quant",
+    "serve",
     "training",
     "quantize_model",
     "PTQPipeline",
@@ -47,6 +48,7 @@ def quantize_model(
     coverage: str = "full",
     hessian: bool = True,
     pra_config: PRAConfig | None = None,
+    batch_size: int = 32,
 ) -> PTQPipeline:
     """Post-training-quantize ``model`` following the paper's protocol.
 
@@ -59,7 +61,7 @@ def quantize_model(
     pipeline = PTQPipeline(
         model, method=method, bits=bits, coverage=coverage, pra_config=pra_config
     )
-    pipeline.calibrate(calib_images)
+    pipeline.calibrate(calib_images, batch_size=batch_size)
     if hessian:
-        hessian_refine(pipeline, calib_images)
+        hessian_refine(pipeline, calib_images, batch_size=batch_size)
     return pipeline

@@ -8,6 +8,11 @@ Commands
 ``table4``         print the accelerator area/power table
 ``memory``         print the Figure-2 peak-memory table
 ``inspect``        fit QUQ on a model's calibration tensors, print modes
+``serve-bench``    drive synthetic traffic through the serving runtime
+
+Model-dependent commands share ``--seed`` (calibration/val sampling) and
+``--batch-size`` (inference batch size) so runs are reproducible from the
+command line.
 """
 
 from __future__ import annotations
@@ -25,11 +30,24 @@ from .training import evaluate_top1
 _TRAINABLE = sorted(MINI_CONFIGS) + ["cnn_mini"]
 
 
-def _setup(model_name: str, val_count: int):
+def _setup(model_name: str, val_count: int, seed: int | None = None):
+    """Shared command preamble: trained model, calibration set, val subset.
+
+    ``seed`` pins the calibration-image draw and the validation subsample;
+    ``None`` keeps the historical defaults (calibration seed 7, val 11).
+    """
     model, fp32 = get_trained_model(model_name, verbose=True)
     train_set, val_set = make_splits(**DATASET_SPEC)
-    calib = calibration_set(train_set, 32)
-    return model, fp32, calib, val_set.subset(val_count, seed=11)
+    calib = calibration_set(train_set, 32, seed=7 if seed is None else seed)
+    return model, fp32, calib, val_set.subset(val_count, seed=11 if seed is None else seed)
+
+
+def _add_repro_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared reproducibility flags to a model-dependent command."""
+    parser.add_argument("--seed", type=int, default=None,
+                        help="seed for calibration/val sampling (default: built-in)")
+    parser.add_argument("--batch-size", type=int, default=32, dest="batch_size",
+                        help="inference batch size for calibration/evaluation")
 
 
 def cmd_zoo(args) -> None:
@@ -43,12 +61,13 @@ def cmd_zoo(args) -> None:
 def cmd_quantize(args) -> None:
     from . import quantize_model
 
-    model, fp32, calib, val = _setup(args.model, args.val)
+    model, fp32, calib, val = _setup(args.model, args.val, seed=args.seed)
     pipeline = quantize_model(
         model, calib, method=args.method, bits=args.bits,
         coverage=args.coverage, hessian=not args.no_hessian,
+        batch_size=args.batch_size,
     )
-    accuracy = evaluate_top1(model, val)
+    accuracy = evaluate_top1(model, val, batch_size=args.batch_size)
     pipeline.detach()
     print(f"{args.model} fp32 {fp32:.2f}% -> {args.method} "
           f"{args.bits}-bit {args.coverage}: {accuracy:.2f}%")
@@ -58,9 +77,9 @@ def cmd_export(args) -> None:
     from . import quantize_model
     from .quant import deployment_report, export_quantized
 
-    model, _, calib, _ = _setup(args.model, 64)
+    model, _, calib, _ = _setup(args.model, 64, seed=args.seed)
     pipeline = quantize_model(model, calib, method="quq", bits=args.bits,
-                              coverage="full")
+                              coverage="full", batch_size=args.batch_size)
     artifact = export_quantized(pipeline, args.output)
     report = deployment_report(pipeline)
     pipeline.detach()
@@ -105,7 +124,7 @@ def cmd_inspect(args) -> None:
     from .analysis import capture_figure3_tensors
     from .quant import QUQQuantizer
 
-    model, _, calib, _ = _setup(args.model, 64)
+    model, _, calib, _ = _setup(args.model, 64, seed=args.seed)
     tensors = capture_figure3_tensors(model, calib, block=args.block)
     rows = []
     for name, data in tensors.items():
@@ -113,6 +132,43 @@ def cmd_inspect(args) -> None:
         rows.append([name, quantizer.mode.value, quantizer.params.describe()])
     print(format_table(["tensor", "mode", "parameters"], rows,
                        title=f"QUQ parameters, block {args.block}"))
+
+
+def cmd_serve_bench(args) -> None:
+    import json
+
+    from .serve import (
+        BatchPolicy,
+        ModelRegistry,
+        ServeEngine,
+        format_snapshot,
+        run_serve_benchmark,
+    )
+
+    from .serve.registry import ModelKey
+
+    spec = f"{args.model}/{args.method}/{args.bits}/{args.coverage}"
+    try:
+        ModelKey.parse(spec)
+        policy = BatchPolicy(
+            max_batch_size=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_queue=args.queue,
+            timeout_ms=args.timeout_ms,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro serve-bench: error: {error}")
+    registry = ModelRegistry(capacity=args.cache_capacity)
+    with ServeEngine(registry, policy, workers=args.workers) as engine:
+        snapshot = run_serve_benchmark(
+            engine, spec,
+            requests=args.requests, rate=args.rate,
+            seed=0 if args.seed is None else args.seed,
+        )
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(format_snapshot(snapshot))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -129,12 +185,14 @@ def build_parser() -> argparse.ArgumentParser:
     quantize.add_argument("--coverage", default="full", choices=["partial", "full"])
     quantize.add_argument("--no-hessian", action="store_true")
     quantize.add_argument("--val", type=int, default=512)
+    _add_repro_flags(quantize)
     quantize.set_defaults(fn=cmd_quantize)
 
     export = commands.add_parser("export", help="export a QUQ artifact")
     export.add_argument("model", choices=_TRAINABLE)
     export.add_argument("output")
     export.add_argument("--bits", type=int, default=6)
+    _add_repro_flags(export)
     export.set_defaults(fn=cmd_export)
 
     commands.add_parser("table4", help="accelerator area/power").set_defaults(fn=cmd_table4)
@@ -147,7 +205,32 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("model", choices=_TRAINABLE)
     inspect.add_argument("--bits", type=int, default=4)
     inspect.add_argument("--block", type=int, default=0)
+    _add_repro_flags(inspect)
     inspect.set_defaults(fn=cmd_inspect)
+
+    serve = commands.add_parser(
+        "serve-bench", help="synthetic open-loop benchmark of the serving runtime"
+    )
+    serve.add_argument("--model", default="vit_s",
+                       help="paper (vit_s) or zoo (vit_mini_s) model name")
+    serve.add_argument("--method", default="quq",
+                       choices=["baseq", "quq", "biscaled", "fqvit", "ptq4vit", "fp32"])
+    serve.add_argument("--bits", type=int, default=6)
+    serve.add_argument("--coverage", default="full", choices=["partial", "full"])
+    serve.add_argument("--requests", type=int, default=256)
+    serve.add_argument("--rate", type=float, default=200.0,
+                       help="offered load, requests per second")
+    serve.add_argument("--max-batch", type=int, default=8, dest="max_batch")
+    serve.add_argument("--max-wait-ms", type=float, default=10.0, dest="max_wait_ms")
+    serve.add_argument("--queue", type=int, default=128,
+                       help="bounded queue size (backpressure threshold)")
+    serve.add_argument("--timeout-ms", type=float, default=5000.0, dest="timeout_ms")
+    serve.add_argument("--workers", type=int, default=1)
+    serve.add_argument("--cache-capacity", type=int, default=2, dest="cache_capacity")
+    serve.add_argument("--json", action="store_true",
+                       help="print the raw metrics snapshot as JSON")
+    _add_repro_flags(serve)
+    serve.set_defaults(fn=cmd_serve_bench)
     return parser
 
 

@@ -25,6 +25,12 @@ from .qmodel import METHODS, PTQPipeline, make_quantizer
 from .hessian import DEFAULT_GRID, hessian_refine
 from .metrics import cosine_similarity, mse, sqnr_db
 from .export import QuantizedArtifact, deployment_report, export_quantized, load_quantized
+from .serialize import (
+    load_quantizer_states,
+    quantizer_from_state,
+    quantizer_state,
+    save_quantizer_states,
+)
 from .mixed import allocate_mixed_precision
 from .calibration import (
     CALIBRATION_STRATEGIES,
@@ -78,6 +84,10 @@ __all__ = [
     "export_quantized",
     "load_quantized",
     "deployment_report",
+    "quantizer_state",
+    "quantizer_from_state",
+    "save_quantizer_states",
+    "load_quantizer_states",
     "allocate_mixed_precision",
     "CALIBRATION_STRATEGIES",
     "absmax_bound",

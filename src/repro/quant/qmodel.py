@@ -21,6 +21,9 @@ Figure 1), ``full`` quantizes every dataflow tap (Table 3's setting).
 
 from __future__ import annotations
 
+import difflib
+from pathlib import Path
+
 import numpy as np
 
 from ..autograd import Tensor, no_grad
@@ -105,7 +108,15 @@ class PTQPipeline:
         return covered
 
     def calibrate(self, calib_images: np.ndarray, batch_size: int = 32) -> "PTQPipeline":
-        """Fit one quantizer per covered tap from calibration activations."""
+        """Fit one quantizer per covered tap from calibration activations.
+
+        Idempotent: recalibrating replaces every previously fitted
+        quantizer and drops all stale observations, so the pipeline ends
+        up exactly as if this were the first call.
+        """
+        self.calibrated = False
+        self.env.quantizers = {}
+        self.env.clear_observations()
         covered = self._discover_taps(calib_images)
         weight_taps = [n for n in covered if classify_tap(n) is TapKind.WEIGHT]
         activation_taps = [n for n in covered if classify_tap(n) is not TapKind.WEIGHT]
@@ -148,7 +159,15 @@ class PTQPipeline:
     def quantizer_for(self, name: str) -> Quantizer:
         if not self.calibrated:
             raise RuntimeError("calibrate() must run before querying quantizers")
-        return self.env.quantizers[name]
+        try:
+            return self.env.quantizers[name]
+        except KeyError:
+            near = difflib.get_close_matches(name, self.env.quantizers, n=3, cutoff=0.3)
+            hint = f"; nearest taps: {near}" if near else ""
+            raise KeyError(
+                f"no quantizer fitted for tap {name!r} "
+                f"({len(self.env.quantizers)} taps covered){hint}"
+            ) from None
 
     def tap_names(self) -> list[str]:
         if not self.calibrated:
@@ -166,6 +185,47 @@ class PTQPipeline:
             raise RuntimeError("calibrate() must run before attach()")
         self.model.set_tap_dispatcher(self.env)
         self.env.phase = "quantize"
+
+    # ------------------------------------------------------------------
+    def save_quantizers(self, path: str | Path) -> Path:
+        """Persist the fitted quantizer state (``.npz`` + JSON metadata).
+
+        The archive records the pipeline's method/bits/coverage alongside
+        every tap's quantizer parameters; :meth:`load_quantizers` restores
+        it bit-exactly without re-running calibration.
+        """
+        from .serialize import save_quantizer_states
+
+        if not self.calibrated:
+            raise RuntimeError("calibrate() must run before save_quantizers()")
+        header = {"method": self.method, "bits": self.bits, "coverage": self.coverage}
+        return save_quantizer_states(self.env.quantizers, path, header=header)
+
+    def load_quantizers(self, path: str | Path) -> "PTQPipeline":
+        """Warm-start from :meth:`save_quantizers` output (skips calibration).
+
+        Validates that the archive was produced by a pipeline with the
+        same method/bits/coverage, installs the quantizers, and leaves the
+        model running with fake quantization attached — the same end state
+        as :meth:`calibrate`.
+        """
+        from .serialize import load_quantizer_states
+
+        header, quantizers = load_quantizer_states(path)
+        for field in ("method", "bits", "coverage"):
+            expected, found = getattr(self, field), header.get(field)
+            if found != expected:
+                raise ValueError(
+                    f"quantizer state at {path} was fitted with "
+                    f"{field}={found!r}, but this pipeline uses {expected!r}"
+                )
+        self.env.quantizers = quantizers
+        self.env.clear_observations()
+        self.env.watched = None
+        self.env.phase = "quantize"
+        self.model.set_tap_dispatcher(self.env)
+        self.calibrated = True
+        return self
 
     # ------------------------------------------------------------------
     def average_bits_per_element(self) -> float:

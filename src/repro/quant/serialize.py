@@ -1,0 +1,145 @@
+"""Fitted-quantizer serialization for warm-starting the PTQ pipeline.
+
+Calibration is the expensive step of the PTQ protocol (forward passes over
+the calibration set plus the progressive relaxation / MSE searches per
+tap).  The fitted result, however, is tiny: a handful of scale factors per
+tensor.  This module captures that state so a pipeline can be restored
+without re-running calibration — the mechanism behind the serve registry's
+warm starts (:mod:`repro.serve.registry`).
+
+Format: one ``.npz`` holding a JSON metadata record (method/bits/coverage
+plus each tap's quantizer class and scalar parameters) and one array entry
+per array-valued parameter (e.g. row-wise deltas).  Scalars ride in the
+JSON — Python's float repr round-trips bit-exactly — so a reloaded
+quantizer's ``quantize()``/``fake_quantize()`` outputs match the original
+to the last bit (tested).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .base import Quantizer
+from .baselines.biscaled import BiScaledQuantizer
+from .baselines.fqvit import Log2Quantizer
+from .baselines.ptq4vit import TwinUniformQuantizer
+from .export import _pack_params, _unpack_params
+from .quq import QUQQuantizer
+from .uniform import AsymmetricUniformQuantizer, RowwiseUniformQuantizer, UniformQuantizer
+
+__all__ = [
+    "STATE_VERSION",
+    "quantizer_state",
+    "quantizer_from_state",
+    "save_quantizer_states",
+    "load_quantizer_states",
+]
+
+STATE_VERSION = 1
+
+#: Scalar attributes captured per quantizer class (bits is handled
+#: separately; array-valued state is handled explicitly below).
+_SCALAR_FIELDS: dict[type, tuple[str, ...]] = {
+    UniformQuantizer: ("percentile", "delta"),
+    AsymmetricUniformQuantizer: ("delta", "zero_point"),
+    RowwiseUniformQuantizer: ("axis", "_row_count", "_elements"),
+    BiScaledQuantizer: ("delta_bulk", "delta_outlier", "threshold", "_outlier_fraction"),
+    Log2Quantizer: (),
+    TwinUniformQuantizer: ("split", "delta_small", "delta_large"),
+    QUQQuantizer: (),
+}
+
+_CLASS_BY_NAME = {cls.__name__: cls for cls in _SCALAR_FIELDS} | {
+    QUQQuantizer.__name__: QUQQuantizer
+}
+
+
+def quantizer_state(quantizer: Quantizer) -> tuple[dict, dict[str, np.ndarray]]:
+    """Split a fitted quantizer into ``(json_meta, arrays)``."""
+    cls = type(quantizer)
+    if cls not in _SCALAR_FIELDS:
+        raise TypeError(f"cannot serialize quantizer type {cls.__name__}")
+    quantizer._require_fitted()
+    meta: dict = {"class": cls.__name__, "bits": quantizer.bits}
+    arrays: dict[str, np.ndarray] = {}
+    for field in _SCALAR_FIELDS[cls]:
+        meta[field] = getattr(quantizer, field)
+    if isinstance(quantizer, QUQQuantizer):
+        arrays["params"] = _pack_params(quantizer.params)
+    elif isinstance(quantizer, RowwiseUniformQuantizer):
+        arrays["deltas"] = np.asarray(quantizer.deltas, dtype=np.float64)
+    return meta, arrays
+
+
+def quantizer_from_state(meta: dict, arrays: dict[str, np.ndarray]) -> Quantizer:
+    """Rebuild a fitted quantizer from :func:`quantizer_state` output."""
+    cls = _CLASS_BY_NAME.get(meta.get("class", ""))
+    if cls is None:
+        raise ValueError(f"unknown quantizer class {meta.get('class')!r}")
+    if cls is TwinUniformQuantizer:
+        quantizer = cls(int(meta["bits"]), split=meta["split"])
+    elif cls is RowwiseUniformQuantizer:
+        quantizer = cls(int(meta["bits"]), axis=int(meta["axis"]))
+    else:
+        quantizer = cls(int(meta["bits"]))
+    for field in _SCALAR_FIELDS[cls]:
+        if field in ("split", "axis"):
+            continue  # constructor arguments, already applied
+        setattr(quantizer, field, meta[field])
+    if cls is QUQQuantizer:
+        quantizer.params = _unpack_params(np.asarray(arrays["params"]))
+    elif cls is RowwiseUniformQuantizer:
+        quantizer.deltas = np.asarray(arrays["deltas"], dtype=np.float64)
+    quantizer.fitted = True
+    return quantizer
+
+
+def save_quantizer_states(
+    quantizers: dict[str, Quantizer],
+    path: str | Path,
+    header: dict | None = None,
+) -> Path:
+    """Write fitted quantizers (tap -> quantizer) to an ``.npz`` at ``path``.
+
+    ``header`` carries caller context (method/bits/coverage for the PTQ
+    pipeline) and is returned verbatim by :func:`load_quantizer_states`.
+    """
+    path = Path(path)
+    taps: dict[str, dict] = {}
+    payload: dict[str, np.ndarray] = {}
+    for name, quantizer in quantizers.items():
+        meta, arrays = quantizer_state(quantizer)
+        taps[name] = meta
+        for field, array in arrays.items():
+            payload[f"a:{name}:{field}"] = array
+    record = {"version": STATE_VERSION, "header": header or {}, "taps": taps}
+    payload["__meta__"] = np.array(json.dumps(record))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **payload)
+    return path
+
+
+def load_quantizer_states(path: str | Path) -> tuple[dict, dict[str, Quantizer]]:
+    """Load ``(header, tap -> quantizer)`` written by :func:`save_quantizer_states`."""
+    payload = np.load(Path(path))
+    if "__meta__" not in payload.files:
+        raise ValueError(f"{path} is not a quantizer-state archive (no __meta__)")
+    record = json.loads(str(payload["__meta__"][()]))
+    if record.get("version") != STATE_VERSION:
+        raise ValueError(
+            f"unsupported quantizer-state version {record.get('version')!r} "
+            f"(expected {STATE_VERSION})"
+        )
+    quantizers: dict[str, Quantizer] = {}
+    for name, meta in record["taps"].items():
+        prefix = f"a:{name}:"
+        arrays = {
+            key[len(prefix):]: payload[key]
+            for key in payload.files
+            if key.startswith(prefix)
+        }
+        quantizers[name] = quantizer_from_state(meta, arrays)
+    return record.get("header", {}), quantizers

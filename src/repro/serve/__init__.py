@@ -1,0 +1,50 @@
+"""Batched inference serving runtime over calibrated PTQ models.
+
+Turns the offline reproduction into a request-serving system:
+
+* :mod:`repro.serve.registry` — named model artifacts (``vit_s/quq/6``),
+  calibrated on first use, cached with LRU eviction, warm-started from
+  serialized quantizer state across restarts.
+* :mod:`repro.serve.scheduler` — dynamic micro-batching with bounded
+  queues, per-request timeouts, and reject-with-reason backpressure.
+* :mod:`repro.serve.engine` — worker threads running batches through the
+  quantized model, degrading to the float model on artifact failure.
+* :mod:`repro.serve.metrics` — counters, batch/queue distributions, and
+  latency histograms exported as a JSON snapshot.
+* :mod:`repro.serve.loadgen` — synthetic open-loop benchmark driver
+  (``python -m repro serve-bench``).
+"""
+
+from .metrics import Counter, Distribution, Histogram, Metrics
+from .scheduler import (
+    Batch,
+    BatchPolicy,
+    MicroBatchScheduler,
+    QueueFullError,
+    RequestTimeoutError,
+    ServeRequest,
+)
+from .registry import ModelKey, ModelRegistry, ServableModel
+from .engine import ServeEngine, ServeResult
+from .loadgen import format_snapshot, run_serve_benchmark, synthetic_requests
+
+__all__ = [
+    "Counter",
+    "Distribution",
+    "Histogram",
+    "Metrics",
+    "Batch",
+    "BatchPolicy",
+    "MicroBatchScheduler",
+    "QueueFullError",
+    "RequestTimeoutError",
+    "ServeRequest",
+    "ModelKey",
+    "ModelRegistry",
+    "ServableModel",
+    "ServeEngine",
+    "ServeResult",
+    "format_snapshot",
+    "run_serve_benchmark",
+    "synthetic_requests",
+]

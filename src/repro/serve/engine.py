@@ -1,0 +1,207 @@
+"""Worker executor: registry + micro-batching scheduler + metrics.
+
+One *lane* per model spec, each with its own bounded queue and worker
+thread(s): workers pull coalesced batches from the lane's scheduler, run
+them through the registry's (quantized) model, and complete the waiting
+requests.  The registry already degrades to the float model when a
+quantized artifact fails to load, so a lane keeps serving either way.
+
+Single worker per lane is the right default for the NumPy substrate (one
+batch saturates the BLAS threads); more workers mainly exercise the
+scheduler's busy/idle dispatch paths.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .metrics import Metrics
+from .registry import ModelKey, ModelRegistry
+from .scheduler import Batch, BatchPolicy, MicroBatchScheduler, QueueFullError, ServeRequest
+
+__all__ = ["ServeResult", "ServeEngine"]
+
+
+@dataclass
+class ServeResult:
+    """Completed classification for one request."""
+
+    label: int
+    logits: np.ndarray
+    batch_size: int
+    quantized: bool
+
+
+class _Lane:
+    """Per-model-spec queue, workers, and in-flight accounting."""
+
+    def __init__(self, key: ModelKey, scheduler: MicroBatchScheduler):
+        self.key = key
+        self.scheduler = scheduler
+        self.threads: list[threading.Thread] = []
+        self.in_flight = 0
+        self.lock = threading.Lock()
+
+
+class ServeEngine:
+    """Batched inference over a :class:`~repro.serve.registry.ModelRegistry`."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry | None = None,
+        policy: BatchPolicy | None = None,
+        metrics: Metrics | None = None,
+        workers: int = 1,
+        clock=time.monotonic,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        # `is None` rather than `or`: an empty registry has len() == 0 and
+        # would otherwise be silently replaced with a default-loader one.
+        self.registry = ModelRegistry() if registry is None else registry
+        self.policy = BatchPolicy() if policy is None else policy
+        self.metrics = Metrics() if metrics is None else metrics
+        self.workers = workers
+        self.clock = clock
+        self._lanes: dict[ModelKey, _Lane] = {}
+        self._lock = threading.Lock()
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    def _lane(self, key: ModelKey) -> _Lane:
+        with self._lock:
+            if self._stopping:
+                raise RuntimeError("engine is stopped")
+            lane = self._lanes.get(key)
+            if lane is None:
+                lane = _Lane(key, MicroBatchScheduler(self.policy, clock=self.clock))
+                for index in range(self.workers):
+                    thread = threading.Thread(
+                        target=self._worker,
+                        args=(lane,),
+                        name=f"serve-{key.slug}-{index}",
+                        daemon=True,
+                    )
+                    lane.threads.append(thread)
+                    thread.start()
+                self._lanes[key] = lane
+            return lane
+
+    def warm(self, spec: str | ModelKey) -> None:
+        """Load (and calibrate or warm-start) a model before traffic arrives."""
+        self.registry.get(spec)
+
+    def submit(self, spec: str | ModelKey, image: np.ndarray) -> ServeRequest:
+        """Enqueue one image; returns the request handle to wait on.
+
+        Raises :class:`~repro.serve.scheduler.QueueFullError` when the
+        lane's bounded queue is full (backpressure).
+        """
+        key = ModelKey.parse(spec) if isinstance(spec, str) else spec
+        lane = self._lane(key)
+        self.metrics.counter("requests_total").inc()
+        self.metrics.distribution("queue_depth").observe(lane.scheduler.qsize())
+        try:
+            return lane.scheduler.submit(np.asarray(image, dtype=np.float32))
+        except QueueFullError:
+            self.metrics.counter("rejected_total").inc()
+            raise
+
+    # ------------------------------------------------------------------
+    def _worker(self, lane: _Lane) -> None:
+        while not self._stopping:
+            with lane.lock:
+                idle = lane.in_flight == 0
+            batch = lane.scheduler.wait_for_batch(timeout=0.1, idle=idle)
+            if batch is None:
+                continue
+            with lane.lock:
+                lane.in_flight += 1
+            try:
+                self._execute(lane, batch)
+            finally:
+                with lane.lock:
+                    lane.in_flight -= 1
+
+    def _execute(self, lane: _Lane, batch: Batch) -> None:
+        started = self.clock()
+        try:
+            servable = self.registry.get(lane.key)
+            logits = servable.predict(batch.images)
+        except Exception as error:
+            self.metrics.counter("errors_total").inc()
+            for request in batch.requests:
+                request.set_exception(error, now=self.clock())
+            return
+        finished = self.clock()
+        self.metrics.counter("batches_total").inc()
+        self.metrics.distribution("batch_size").observe(len(batch))
+        self.metrics.histogram("exec_latency_ms").observe((finished - started) * 1e3)
+        labels = logits.argmax(axis=-1)
+        for request, label, row in zip(batch.requests, labels, logits):
+            self.metrics.histogram("queue_wait_ms").observe(
+                (batch.created_at - request.enqueued_at) * 1e3
+            )
+            self.metrics.histogram("e2e_latency_ms").observe(
+                (finished - request.enqueued_at) * 1e3
+            )
+            self.metrics.counter("responses_total").inc()
+            request.set_result(
+                ServeResult(int(label), row, len(batch), servable.quantized),
+                now=finished,
+            )
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Full metrics snapshot: engine instruments + scheduler + registry."""
+        with self._lock:
+            lanes = dict(self._lanes)
+        timeouts = sum(l.scheduler.timed_out for l in lanes.values())
+        return self.metrics.snapshot(
+            extra={
+                "registry": self.registry.snapshot(),
+                "lanes": {
+                    lane.key.spec: {
+                        "queued": lane.scheduler.qsize(),
+                        "timed_out": lane.scheduler.timed_out,
+                        "rejected": lane.scheduler.rejected,
+                    }
+                    for lane in lanes.values()
+                },
+                "timeouts_total": timeouts,
+            }
+        )
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Wait until every queue is empty and nothing is in flight."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                lanes = list(self._lanes.values())
+            busy = any(
+                lane.scheduler.qsize() > 0 or lane.in_flight > 0 for lane in lanes
+            )
+            if not busy:
+                return True
+            time.sleep(0.002)
+        return False
+
+    def stop(self) -> None:
+        self._stopping = True
+        with self._lock:
+            lanes = list(self._lanes.values())
+        for lane in lanes:
+            lane.scheduler.close()
+        for lane in lanes:
+            for thread in lane.threads:
+                thread.join(timeout=2.0)
+
+    def __enter__(self) -> "ServeEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,155 @@
+"""Serving metrics: counters, distributions, and latency histograms.
+
+Everything here is plain Python + NumPy and thread-safe under one lock per
+instrument, so the scheduler, worker threads, and the load generator can
+record concurrently.  :meth:`Metrics.snapshot` renders the whole registry
+as a JSON-serializable dict — the interface the CLI prints and the
+benchmarks persist.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+
+__all__ = ["Counter", "Distribution", "Histogram", "Metrics"]
+
+
+class Counter:
+    """Monotonic counter."""
+
+    def __init__(self):
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Distribution:
+    """Counts per discrete integer value (e.g. dispatched batch sizes)."""
+
+    def __init__(self):
+        self._counts: dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, value: int) -> None:
+        with self._lock:
+            self._counts[int(value)] = self._counts.get(int(value), 0) + 1
+
+    @property
+    def total(self) -> int:
+        with self._lock:
+            return sum(self._counts.values())
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {str(k): v for k, v in sorted(self._counts.items())}
+
+
+class Histogram:
+    """Latency histogram with exact quantiles over a bounded reservoir.
+
+    Keeps up to ``max_samples`` observations; beyond that, reservoir
+    sampling (deterministic seed) keeps an unbiased subsample while count
+    and sum stay exact.  Serving runs here are small enough that the
+    reservoir is rarely exercised, so quantiles are usually exact.
+    """
+
+    def __init__(self, max_samples: int = 65536, seed: int = 0):
+        self._samples: list[float] = []
+        self._max_samples = max_samples
+        self._rng = np.random.default_rng(seed)
+        self._count = 0
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if len(self._samples) < self._max_samples:
+                self._samples.append(value)
+            else:
+                slot = int(self._rng.integers(0, self._count))
+                if slot < self._max_samples:
+                    self._samples[slot] = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def percentile(self, q: float) -> float:
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            return float(np.percentile(self._samples, q))
+
+    def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            if not self._samples:
+                return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                        "p50": 0.0, "p95": 0.0, "p99": 0.0}
+            data = np.asarray(self._samples)
+            p50, p95, p99 = np.percentile(data, (50, 95, 99))
+            return {
+                "count": self._count,
+                "mean": round(self._sum / self._count, 4),
+                "min": round(float(data.min()), 4),
+                "max": round(float(data.max()), 4),
+                "p50": round(float(p50), 4),
+                "p95": round(float(p95), 4),
+                "p99": round(float(p99), 4),
+            }
+
+
+class Metrics:
+    """Named registry of counters, distributions, and histograms."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._distributions: dict[str, Distribution] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            return self._counters.setdefault(name, Counter())
+
+    def distribution(self, name: str) -> Distribution:
+        with self._lock:
+            return self._distributions.setdefault(name, Distribution())
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            return self._histograms.setdefault(name, Histogram())
+
+    def snapshot(self, extra: dict | None = None) -> dict:
+        """JSON-serializable view of every instrument (plus ``extra``)."""
+        with self._lock:
+            counters = dict(self._counters)
+            distributions = dict(self._distributions)
+            histograms = dict(self._histograms)
+        out: dict = {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "distributions": {
+                name: d.snapshot() for name, d in sorted(distributions.items())
+            },
+            "histograms": {
+                name: h.snapshot() for name, h in sorted(histograms.items())
+            },
+        }
+        if extra:
+            out.update(extra)
+        return out
+
+    def to_json(self, extra: dict | None = None) -> str:
+        return json.dumps(self.snapshot(extra), indent=2, sort_keys=True)

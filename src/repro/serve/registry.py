@@ -1,0 +1,220 @@
+"""Model registry: calibrated PTQ pipelines as named, cached artifacts.
+
+A deployable model is addressed by a spec string ``model/method/bits``
+(optionally ``/coverage``), e.g. ``vit_s/quq/6`` — paper model names
+resolve through the mini zoo, zoo names are accepted directly, and the
+method ``fp32`` serves the float model unquantized.
+
+``get()`` loads on first use (training the zoo model if its checkpoint is
+missing, then calibrating the PTQ pipeline) and serves warm thereafter
+from an LRU cache.  The fitted quantizer state is serialized next to the
+model cache (:mod:`repro.quant.serialize`), so a fresh registry — e.g.
+after a process restart — warm-starts the pipeline from disk instead of
+re-running calibration.  If quantization fails for any reason the entry
+degrades gracefully to the float model and records why.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..data import calibration_set, make_splits
+from ..models import MINI_CONFIGS, MINI_FOR_PAPER, get_trained_model
+from ..models.cnn import CNN_MINI
+from ..models.zoo import DATASET_SPEC, cache_dir
+from ..quant.qmodel import METHODS, PTQPipeline
+
+__all__ = ["ModelKey", "ServableModel", "ModelRegistry"]
+
+_SERVABLE_METHODS = METHODS + ("fp32",)
+
+
+@dataclass(frozen=True)
+class ModelKey:
+    """Parsed identity of one deployable artifact."""
+
+    model: str  # mini-zoo model name
+    method: str
+    bits: int
+    coverage: str = "full"
+
+    @classmethod
+    def parse(cls, spec: str) -> "ModelKey":
+        """Parse ``model/method/bits[/coverage]`` (e.g. ``vit_s/quq/6``)."""
+        parts = spec.strip().strip("/").split("/")
+        if len(parts) not in (3, 4):
+            raise ValueError(
+                f"bad model spec {spec!r}; expected model/method/bits[/coverage]"
+            )
+        model, method, bits = parts[0], parts[1], parts[2]
+        coverage = parts[3] if len(parts) == 4 else "full"
+        model = MINI_FOR_PAPER.get(model, model)
+        if model not in MINI_CONFIGS and model != CNN_MINI.name:
+            known = sorted(MINI_FOR_PAPER) + sorted(MINI_CONFIGS) + [CNN_MINI.name]
+            raise ValueError(f"unknown model {parts[0]!r}; choices: {known}")
+        if method not in _SERVABLE_METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; choices: {_SERVABLE_METHODS}"
+            )
+        if not bits.isdigit():
+            raise ValueError(f"bits must be an integer, got {bits!r}")
+        if coverage not in ("partial", "full"):
+            raise ValueError(f"coverage must be partial|full, got {coverage!r}")
+        return cls(model, method, int(bits), coverage)
+
+    @property
+    def spec(self) -> str:
+        return f"{self.model}/{self.method}/{self.bits}/{self.coverage}"
+
+    @property
+    def slug(self) -> str:
+        return f"{self.model}-{self.method}-{self.bits}-{self.coverage}"
+
+
+class ServableModel:
+    """A loaded (and, when possible, quantized) model ready for batches."""
+
+    def __init__(
+        self,
+        key: ModelKey,
+        model,
+        fp32_top1: float,
+        pipeline: PTQPipeline | None,
+        fallback_reason: str | None = None,
+    ):
+        self.key = key
+        self.model = model
+        self.fp32_top1 = fp32_top1
+        self.pipeline = pipeline
+        self.fallback_reason = fallback_reason
+        self._lock = threading.Lock()
+
+    @property
+    def quantized(self) -> bool:
+        return self.pipeline is not None
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Logits for a batch; serialized so one model runs one batch at a time."""
+        with self._lock:
+            self.model.eval()
+            with no_grad():
+                return self.model(Tensor(images)).data
+
+
+class ModelRegistry:
+    """LRU cache of :class:`ServableModel` keyed by spec, warm-startable."""
+
+    def __init__(
+        self,
+        capacity: int = 2,
+        artifact_dir: str | Path | None = None,
+        loader=None,
+        calib_provider=None,
+        hessian: bool = False,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.artifact_dir = Path(artifact_dir) if artifact_dir else cache_dir() / "serve"
+        self._loader = loader or (lambda name: get_trained_model(name, verbose=True))
+        self._calib_provider = calib_provider
+        self._hessian = hessian
+        self._calib: np.ndarray | None = None
+        self._entries: "OrderedDict[ModelKey, ServableModel]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.stats = {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "warm_loads": 0,
+            "calibrations": 0,
+            "fallbacks": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def _calibration_images(self) -> np.ndarray:
+        if self._calib is None:
+            if self._calib_provider is not None:
+                self._calib = np.asarray(self._calib_provider())
+            else:
+                train_set, _ = make_splits(**DATASET_SPEC)
+                self._calib = calibration_set(train_set, 32)
+        return self._calib
+
+    def state_path(self, key: ModelKey) -> Path:
+        return self.artifact_dir / f"{key.slug}.quantizers.npz"
+
+    def _build(self, key: ModelKey) -> ServableModel:
+        model, fp32 = self._loader(key.model)
+        if key.method == "fp32":
+            return ServableModel(key, model, fp32, pipeline=None)
+        try:
+            pipeline = PTQPipeline(
+                model, method=key.method, bits=key.bits, coverage=key.coverage
+            )
+            state = self.state_path(key)
+            if state.exists():
+                try:
+                    pipeline.load_quantizers(state)
+                    self.stats["warm_loads"] += 1
+                    return ServableModel(key, model, fp32, pipeline)
+                except Exception:
+                    state.unlink(missing_ok=True)  # stale/corrupt: recalibrate
+            pipeline.calibrate(self._calibration_images())
+            if self._hessian:
+                from ..quant.hessian import hessian_refine
+
+                hessian_refine(pipeline, self._calibration_images())
+            self.stats["calibrations"] += 1
+            pipeline.save_quantizers(state)
+            return ServableModel(key, model, fp32, pipeline)
+        except Exception as error:  # degrade to float rather than failing
+            self.stats["fallbacks"] += 1
+            model.set_tap_dispatcher(None)
+            reason = f"{type(error).__name__}: {error}"
+            return ServableModel(key, model, fp32, None, fallback_reason=reason)
+
+    # ------------------------------------------------------------------
+    def get(self, spec: str | ModelKey) -> ServableModel:
+        """Fetch (loading/calibrating on miss) and mark most recently used."""
+        key = ModelKey.parse(spec) if isinstance(spec, str) else spec
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.stats["hits"] += 1
+                self._entries.move_to_end(key)
+                return entry
+            self.stats["misses"] += 1
+            entry = self._build(key)
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats["evictions"] += 1
+            return entry
+
+    def __contains__(self, spec: str | ModelKey) -> bool:
+        key = ModelKey.parse(spec) if isinstance(spec, str) else spec
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def snapshot(self) -> dict:
+        """Stats dict (JSON-serializable) including the cache hit rate."""
+        with self._lock:
+            lookups = self.stats["hits"] + self.stats["misses"]
+            return {
+                **self.stats,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hit_rate": round(self.stats["hits"] / lookups, 4) if lookups else 0.0,
+                "entries": [key.spec for key in self._entries],
+            }

@@ -1,0 +1,260 @@
+"""Dynamic micro-batching scheduler for single-image requests.
+
+Requests arrive one image at a time; the quantized models (and the QUA
+accelerator they simulate) amortize per-call overhead over batches, so the
+scheduler coalesces the queue into NumPy batches under a
+:class:`BatchPolicy`:
+
+* dispatch when a full ``max_batch_size`` batch is waiting,
+* or when the oldest queued request has waited ``max_wait_ms``,
+* or immediately when the executor is idle (work conservation — a single
+  request on an otherwise-idle system never stalls behind the batching
+  timer; coalescing happens while the worker is busy with the previous
+  batch).
+
+Bounded queue with reject-with-reason backpressure, per-request timeouts
+while queued, and an injectable clock so every policy decision is unit
+testable without sleeping: :meth:`MicroBatchScheduler.poll` is a pure
+state transition on (queue, now).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "BatchPolicy",
+    "Batch",
+    "QueueFullError",
+    "RequestTimeoutError",
+    "ServeRequest",
+    "MicroBatchScheduler",
+]
+
+
+class QueueFullError(RuntimeError):
+    """Backpressure rejection: the bounded queue cannot accept the request."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class RequestTimeoutError(TimeoutError):
+    """The request exceeded its deadline while waiting in the queue."""
+
+
+@dataclass
+class BatchPolicy:
+    """Coalescing policy: how long and how wide batches may grow."""
+
+    max_batch_size: int = 8
+    max_wait_ms: float = 10.0
+    max_queue: int = 64
+    timeout_ms: float = 2000.0
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.max_wait_ms < 0 or self.timeout_ms <= 0:
+            raise ValueError("max_wait_ms must be >= 0 and timeout_ms > 0")
+
+
+class ServeRequest:
+    """One queued image plus the completion slot its submitter waits on."""
+
+    def __init__(self, payload: np.ndarray, enqueued_at: float):
+        self.payload = payload
+        self.enqueued_at = enqueued_at
+        self.dispatched_at: float | None = None
+        self.completed_at: float | None = None
+        self._done = threading.Event()
+        self._result = None
+        self._error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    def set_result(self, result, now: float | None = None) -> None:
+        self._result = result
+        self.completed_at = now
+        self._done.set()
+
+    def set_exception(self, error: BaseException, now: float | None = None) -> None:
+        self._error = error
+        self.completed_at = now
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None):
+        """Block until completion; raises the stored exception on failure."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("request not completed within wait timeout")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def exception(self) -> BaseException | None:
+        return self._error if self._done.is_set() else None
+
+
+@dataclass
+class Batch:
+    """A dispatched group of requests, stacked for the model."""
+
+    requests: list[ServeRequest]
+    created_at: float
+    reason: str  # "full" | "timer" | "idle"
+    images: np.ndarray = field(init=False)
+
+    def __post_init__(self):
+        self.images = np.stack([r.payload for r in self.requests])
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+class MicroBatchScheduler:
+    """Coalesce single requests into batches under a :class:`BatchPolicy`.
+
+    The decision logic (:meth:`poll`, :meth:`expire_timeouts`,
+    :meth:`next_event`) takes an explicit ``now`` so tests drive it with a
+    fake clock; :meth:`wait_for_batch` is the blocking wrapper the engine's
+    worker thread uses, built on the same primitives.
+    """
+
+    def __init__(self, policy: BatchPolicy | None = None, clock=time.monotonic):
+        self.policy = BatchPolicy() if policy is None else policy
+        self.clock = clock
+        self._queue: list[ServeRequest] = []
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._closed = False
+        self.timed_out: int = 0  # total requests expired while queued
+        self.rejected: int = 0  # total submissions refused (queue full / closed)
+
+    # ------------------------------------------------------------------
+    def submit(self, payload: np.ndarray, now: float | None = None) -> ServeRequest:
+        """Enqueue one image; raises :class:`QueueFullError` on backpressure."""
+        with self._wakeup:
+            now = self.clock() if now is None else now
+            if self._closed:
+                self.rejected += 1
+                raise QueueFullError("scheduler is shut down")
+            self._expire_locked(now)
+            if len(self._queue) >= self.policy.max_queue:
+                self.rejected += 1
+                raise QueueFullError(
+                    f"queue full ({len(self._queue)}/{self.policy.max_queue} "
+                    f"requests waiting); retry later"
+                )
+            request = ServeRequest(payload, enqueued_at=now)
+            self._queue.append(request)
+            self._wakeup.notify_all()
+            return request
+
+    def qsize(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def _expire_locked(self, now: float) -> list[ServeRequest]:
+        deadline = self.policy.timeout_ms / 1000.0
+        expired = [r for r in self._queue if now - r.enqueued_at >= deadline]
+        if expired:
+            self._queue = [r for r in self._queue if r not in expired]
+            self.timed_out += len(expired)
+            for request in expired:
+                waited_ms = (now - request.enqueued_at) * 1000.0
+                request.set_exception(
+                    RequestTimeoutError(
+                        f"timed out after {waited_ms:.1f} ms in queue "
+                        f"(limit {self.policy.timeout_ms:.1f} ms)"
+                    ),
+                    now=now,
+                )
+        return expired
+
+    def expire_timeouts(self, now: float | None = None) -> list[ServeRequest]:
+        """Fail-and-remove every queued request past its deadline."""
+        with self._lock:
+            return self._expire_locked(self.clock() if now is None else now)
+
+    def _poll_locked(self, now: float, idle: bool) -> Batch | None:
+        self._expire_locked(now)
+        if not self._queue:
+            return None  # timer fired on an empty queue: nothing to flush
+        if len(self._queue) >= self.policy.max_batch_size:
+            reason = "full"
+        elif now - self._queue[0].enqueued_at >= self.policy.max_wait_ms / 1000.0:
+            reason = "timer"
+        elif idle:
+            reason = "idle"
+        else:
+            return None
+        take = self._queue[: self.policy.max_batch_size]
+        self._queue = self._queue[self.policy.max_batch_size:]
+        for request in take:
+            request.dispatched_at = now
+        return Batch(take, created_at=now, reason=reason)
+
+    def poll(self, now: float | None = None, idle: bool = False) -> Batch | None:
+        """Return the next batch if one is due at ``now``, else ``None``.
+
+        ``idle=True`` means no batch is currently executing, which enables
+        the immediate single-request path.
+        """
+        with self._lock:
+            return self._poll_locked(self.clock() if now is None else now, idle)
+
+    def next_event(self, now: float | None = None) -> float | None:
+        """Seconds until the next flush or timeout is due (None if empty)."""
+        with self._lock:
+            now = self.clock() if now is None else now
+            if not self._queue:
+                return None
+            oldest = self._queue[0].enqueued_at
+            flush_at = oldest + self.policy.max_wait_ms / 1000.0
+            expire_at = min(r.enqueued_at for r in self._queue) + (
+                self.policy.timeout_ms / 1000.0
+            )
+            return max(0.0, min(flush_at, expire_at) - now)
+
+    # ------------------------------------------------------------------
+    def wait_for_batch(self, timeout: float, idle: bool = True) -> Batch | None:
+        """Block up to ``timeout`` seconds for a dispatchable batch."""
+        deadline = self.clock() + timeout
+        with self._wakeup:
+            while True:
+                now = self.clock()
+                batch = self._poll_locked(now, idle)
+                if batch is not None:
+                    return batch
+                if self._closed or now >= deadline:
+                    return None
+                wait = deadline - now
+                next_due = None
+                if self._queue:
+                    next_due = (
+                        self._queue[0].enqueued_at
+                        + self.policy.max_wait_ms / 1000.0
+                        - now
+                    )
+                if next_due is not None:
+                    wait = min(wait, max(next_due, 0.0))
+                self._wakeup.wait(max(wait, 1e-4))
+
+    def close(self) -> None:
+        """Stop accepting work and fail everything still queued."""
+        with self._wakeup:
+            self._closed = True
+            for request in self._queue:
+                request.set_exception(QueueFullError("scheduler is shut down"))
+            self._queue.clear()
+            self._wakeup.notify_all()

@@ -185,6 +185,30 @@ class TestPTQPipeline:
             pipeline.quantizer_for("nonexistent")
         pipeline.detach()
 
+    def test_quantizer_for_suggests_nearest_taps(self, tiny_trained, calib_images):
+        pipeline = PTQPipeline(tiny_trained, "baseq", 6, "full").calibrate(calib_images)
+        existing = pipeline.tap_names()[0]
+        with pytest.raises(KeyError) as excinfo:
+            pipeline.quantizer_for(existing + "x")  # near miss
+        message = str(excinfo.value)
+        assert "nearest taps" in message and existing in message
+        pipeline.detach()
+
+    def test_calibrate_is_idempotent(self, tiny_trained, calib_images):
+        pipeline = PTQPipeline(tiny_trained, "baseq", 6, "full")
+        pipeline.calibrate(calib_images)
+        first = {n: pipeline.quantizer_for(n).delta for n in pipeline.tap_names()}
+        pipeline.calibrate(calib_images)
+        second = {n: pipeline.quantizer_for(n).delta for n in pipeline.tap_names()}
+        assert first == second  # same data -> identical refit
+        assert not pipeline.env.records  # observations cleared
+        # Every quantizer object was replaced, not reused.
+        pipeline.env.quantizers[pipeline.tap_names()[0]].delta = -1.0
+        pipeline.calibrate(calib_images)
+        third = {n: pipeline.quantizer_for(n).delta for n in pipeline.tap_names()}
+        assert third == first
+        pipeline.detach()
+
 
 class TestHessianRefine:
     def test_refine_returns_alpha_per_tap(self, tiny_trained, calib_images):

@@ -1,0 +1,85 @@
+"""Tests for the serving metrics layer."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import Counter, Distribution, Histogram, Metrics
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_concurrent_increments(self):
+        counter = Counter()
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 4000
+
+
+class TestDistribution:
+    def test_counts_per_value(self):
+        dist = Distribution()
+        for size in (1, 4, 4, 8, 8, 8):
+            dist.observe(size)
+        assert dist.snapshot() == {"1": 1, "4": 2, "8": 3}
+        assert dist.total == 6
+
+
+class TestHistogram:
+    def test_exact_quantiles(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        snap = histogram.snapshot()
+        assert snap["count"] == 100
+        assert snap["mean"] == pytest.approx(50.5)
+        assert snap["p50"] == pytest.approx(50.5)
+        assert snap["p99"] == pytest.approx(np.percentile(np.arange(1, 101), 99))
+        assert snap["min"] == 1.0 and snap["max"] == 100.0
+
+    def test_empty_snapshot(self):
+        assert Histogram().snapshot()["count"] == 0
+
+    def test_reservoir_keeps_exact_count_and_bounded_memory(self):
+        histogram = Histogram(max_samples=100, seed=0)
+        for value in range(1000):
+            histogram.observe(float(value))
+        assert histogram.count == 1000
+        assert len(histogram._samples) == 100
+        # The subsample still spans the distribution.
+        assert histogram.percentile(50) == pytest.approx(500, abs=150)
+
+
+class TestMetricsRegistry:
+    def test_instruments_are_singletons_by_name(self):
+        metrics = Metrics()
+        assert metrics.counter("a") is metrics.counter("a")
+        assert metrics.histogram("h") is metrics.histogram("h")
+        assert metrics.distribution("d") is metrics.distribution("d")
+
+    def test_snapshot_is_json_serializable(self):
+        metrics = Metrics()
+        metrics.counter("requests_total").inc(3)
+        metrics.histogram("latency_ms").observe(1.25)
+        metrics.distribution("batch_size").observe(4)
+        text = metrics.to_json(extra={"registry": {"hit_rate": 0.5}})
+        snap = json.loads(text)
+        assert snap["counters"]["requests_total"] == 3
+        assert snap["histograms"]["latency_ms"]["count"] == 1
+        assert snap["distributions"]["batch_size"] == {"4": 1}
+        assert snap["registry"]["hit_rate"] == 0.5

@@ -1,0 +1,133 @@
+"""Tests for the serving model registry (LRU cache + warm start)."""
+
+import numpy as np
+import pytest
+
+from repro.models.configs import ModelConfig
+from repro.models.vit import build_vit
+from repro.serve import ModelKey, ModelRegistry
+
+TINY = ModelConfig("tiny_vit", "vit", 16, 4, 3, 10, 32, 2, 2)
+
+
+def tiny_loader(name):
+    # Serve-path tests run a deterministic tiny model regardless of the
+    # requested zoo name, so nothing trains or hits the checkpoint cache.
+    return build_vit(TINY, seed=0), 42.0
+
+
+@pytest.fixture
+def registry(tmp_path, calib_images):
+    return ModelRegistry(
+        capacity=2,
+        artifact_dir=tmp_path,
+        loader=tiny_loader,
+        calib_provider=lambda: calib_images[:16],
+    )
+
+
+class TestModelKey:
+    def test_parse_paper_and_zoo_names(self):
+        assert ModelKey.parse("vit_s/quq/6").model == "vit_mini_s"
+        assert ModelKey.parse("vit_mini_s/quq/6").model == "vit_mini_s"
+        assert ModelKey.parse("vit_s/quq/6").coverage == "full"
+        assert ModelKey.parse("vit_s/baseq/8/partial").coverage == "partial"
+
+    @pytest.mark.parametrize("spec", [
+        "vit_s", "vit_s/quq", "resnet50/quq/6", "vit_s/awq/6",
+        "vit_s/quq/six", "vit_s/quq/6/most",
+    ])
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            ModelKey.parse(spec)
+
+    def test_spec_round_trip(self):
+        key = ModelKey.parse("deit_s/biscaled/8/partial")
+        assert ModelKey.parse(key.spec) == key
+
+
+class TestRegistryCache:
+    def test_miss_then_hit(self, registry):
+        first = registry.get("vit_s/quq/4")
+        assert first.quantized and first.pipeline.calibrated
+        second = registry.get("vit_s/quq/4")
+        assert second is first
+        snap = registry.snapshot()
+        assert snap["hits"] == 1 and snap["misses"] == 1
+        assert snap["hit_rate"] == 0.5
+        assert snap["calibrations"] == 1
+
+    def test_distinct_specs_are_distinct_entries(self, registry):
+        a = registry.get("vit_s/quq/4")
+        b = registry.get("vit_s/quq/6")
+        assert a is not b
+        assert len(registry) == 2
+
+    def test_lru_eviction(self, tmp_path, calib_images):
+        registry = ModelRegistry(
+            capacity=1, artifact_dir=tmp_path, loader=tiny_loader,
+            calib_provider=lambda: calib_images[:16],
+        )
+        registry.get("vit_s/quq/4")
+        registry.get("vit_s/baseq/4")
+        assert "vit_s/quq/4" not in registry
+        assert "vit_s/baseq/4" in registry
+        assert registry.snapshot()["evictions"] == 1
+
+    def test_fp32_method_serves_float(self, registry):
+        servable = registry.get("vit_s/fp32/32")
+        assert not servable.quantized
+        assert servable.fallback_reason is None
+        logits = servable.predict(np.zeros((2, 16, 16, 3), dtype=np.float32))
+        assert logits.shape == (2, 10)
+
+
+class TestWarmStart:
+    def test_restart_skips_recalibration(self, tmp_path, calib_images):
+        def make():
+            return ModelRegistry(
+                capacity=2, artifact_dir=tmp_path, loader=tiny_loader,
+                calib_provider=lambda: calib_images[:16],
+            )
+
+        images = calib_images[:4]
+        cold = make()
+        reference = cold.get("vit_s/quq/4").predict(images)
+        assert cold.snapshot()["calibrations"] == 1
+        assert cold.state_path(ModelKey.parse("vit_s/quq/4")).exists()
+
+        warm = make()  # fresh registry, same artifact dir: a "restart"
+        servable = warm.get("vit_s/quq/4")
+        snap = warm.snapshot()
+        assert snap["warm_loads"] == 1 and snap["calibrations"] == 0
+        np.testing.assert_array_equal(servable.predict(images), reference)
+
+    def test_corrupt_state_falls_back_to_calibration(self, tmp_path, calib_images):
+        registry = ModelRegistry(
+            capacity=2, artifact_dir=tmp_path, loader=tiny_loader,
+            calib_provider=lambda: calib_images[:16],
+        )
+        state = registry.state_path(ModelKey.parse("vit_s/quq/4"))
+        state.parent.mkdir(parents=True, exist_ok=True)
+        state.write_bytes(b"not an npz archive")
+        servable = registry.get("vit_s/quq/4")
+        assert servable.quantized
+        assert registry.snapshot()["calibrations"] == 1
+
+
+class TestGracefulDegradation:
+    def test_calibration_failure_degrades_to_float(self, tmp_path):
+        def broken_calib():
+            raise RuntimeError("calibration data unavailable")
+
+        registry = ModelRegistry(
+            capacity=2, artifact_dir=tmp_path, loader=tiny_loader,
+            calib_provider=broken_calib,
+        )
+        servable = registry.get("vit_s/quq/6")
+        assert not servable.quantized
+        assert "calibration data unavailable" in servable.fallback_reason
+        assert registry.snapshot()["fallbacks"] == 1
+        # The float model still answers.
+        logits = servable.predict(np.zeros((3, 16, 16, 3), dtype=np.float32))
+        assert logits.shape == (3, 10)

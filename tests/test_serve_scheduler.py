@@ -1,0 +1,171 @@
+"""Deterministic tests for the micro-batching scheduler.
+
+Every policy decision is driven through an explicit fake clock — no
+sleeps, no threads — because ``MicroBatchScheduler.poll`` is a pure state
+transition on (queue contents, now).
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    BatchPolicy,
+    MicroBatchScheduler,
+    QueueFullError,
+    RequestTimeoutError,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+IMAGE = np.zeros((4, 4, 3), dtype=np.float32)
+
+
+def make_scheduler(**policy_kwargs):
+    clock = FakeClock()
+    policy = BatchPolicy(**{
+        "max_batch_size": 4, "max_wait_ms": 10.0, "max_queue": 8,
+        "timeout_ms": 100.0, **policy_kwargs,
+    })
+    return MicroBatchScheduler(policy, clock=clock), clock
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(max_queue=0)
+        with pytest.raises(ValueError):
+            BatchPolicy(timeout_ms=0)
+
+
+class TestCoalescing:
+    def test_empty_flush_on_timer(self):
+        scheduler, clock = make_scheduler()
+        # The flush timer firing with nothing queued is a no-op.
+        clock.now = 123.0
+        assert scheduler.poll() is None
+        assert scheduler.poll(idle=True) is None
+
+    def test_max_batch_coalescing(self):
+        scheduler, clock = make_scheduler(max_batch_size=4)
+        for _ in range(6):
+            scheduler.submit(IMAGE)
+        batch = scheduler.poll()  # not idle, no wait elapsed: full-batch rule
+        assert batch is not None and len(batch) == 4
+        assert batch.reason == "full"
+        assert batch.images.shape == (4, 4, 4, 3)
+        assert scheduler.qsize() == 2  # remainder stays queued
+        assert scheduler.poll() is None  # 2 < max_batch and no time has passed
+
+    def test_timer_flush_after_max_wait(self):
+        scheduler, clock = make_scheduler(max_wait_ms=10.0)
+        scheduler.submit(IMAGE)
+        scheduler.submit(IMAGE)
+        assert scheduler.poll(now=0.0099) is None  # under the wait cap: hold
+        batch = scheduler.poll(now=0.0101)
+        assert batch is not None and len(batch) == 2
+        assert batch.reason == "timer"
+
+    def test_idle_single_request_dispatches_immediately(self):
+        scheduler, clock = make_scheduler(max_wait_ms=10.0)
+        request = scheduler.submit(IMAGE)
+        # Executor busy: the lone request waits for more to coalesce…
+        assert scheduler.poll(now=0.0) is None
+        # …but an idle executor takes it with zero batching stall.
+        batch = scheduler.poll(now=0.0, idle=True)
+        assert batch is not None and batch.requests == [request]
+        assert batch.reason == "idle"
+
+    def test_batches_preserve_fifo_order(self):
+        scheduler, clock = make_scheduler(max_batch_size=3)
+        submitted = [scheduler.submit(IMAGE) for _ in range(3)]
+        batch = scheduler.poll()
+        assert batch.requests == submitted
+
+
+class TestBackpressure:
+    def test_queue_full_rejection_with_reason(self):
+        scheduler, clock = make_scheduler(max_queue=3)
+        for _ in range(3):
+            scheduler.submit(IMAGE)
+        with pytest.raises(QueueFullError) as excinfo:
+            scheduler.submit(IMAGE)
+        assert "queue full" in str(excinfo.value)
+        assert "3/3" in excinfo.value.reason
+        assert scheduler.rejected == 1
+        assert scheduler.qsize() == 3  # rejected request never entered
+
+    def test_queue_drains_then_accepts_again(self):
+        scheduler, clock = make_scheduler(max_queue=3, max_batch_size=3)
+        for _ in range(3):
+            scheduler.submit(IMAGE)
+        with pytest.raises(QueueFullError):
+            scheduler.submit(IMAGE)
+        assert scheduler.poll() is not None
+        scheduler.submit(IMAGE)  # space again after the batch left
+        assert scheduler.qsize() == 1
+
+
+class TestTimeouts:
+    def test_request_timeout_while_queued(self):
+        scheduler, clock = make_scheduler(timeout_ms=100.0, max_wait_ms=10.0)
+        request = scheduler.submit(IMAGE)
+        clock.now = 0.2  # past the 100 ms deadline
+        assert scheduler.poll(idle=True) is None  # expired, not dispatched
+        assert request.done()
+        with pytest.raises(RequestTimeoutError, match="timed out"):
+            request.result(timeout=0)
+        assert scheduler.timed_out == 1
+        assert scheduler.qsize() == 0
+
+    def test_fresh_requests_survive_expiry_sweep(self):
+        scheduler, clock = make_scheduler(timeout_ms=100.0, max_batch_size=8)
+        stale = scheduler.submit(IMAGE, now=0.0)
+        fresh = scheduler.submit(IMAGE, now=0.15)  # submit sweeps stale entries
+        assert stale.done() and scheduler.timed_out == 1
+        assert scheduler.expire_timeouts(now=0.2) == []  # fresh one survives
+        batch = scheduler.poll(now=0.2, idle=True)
+        assert batch is not None and batch.requests == [fresh]
+
+    def test_submit_expires_stale_entries_before_capacity_check(self):
+        scheduler, clock = make_scheduler(max_queue=2, timeout_ms=100.0)
+        scheduler.submit(IMAGE, now=0.0)
+        scheduler.submit(IMAGE, now=0.0)
+        clock.now = 0.5  # both queued requests are now past their deadline
+        scheduler.submit(IMAGE)  # must not raise: stale entries freed slots
+        assert scheduler.qsize() == 1
+        assert scheduler.timed_out == 2
+
+
+class TestNextEventAndShutdown:
+    def test_next_event_tracks_flush_deadline(self):
+        scheduler, clock = make_scheduler(max_wait_ms=10.0)
+        assert scheduler.next_event() is None
+        scheduler.submit(IMAGE, now=0.0)
+        assert scheduler.next_event(now=0.004) == pytest.approx(0.006)
+        assert scheduler.next_event(now=0.5) == 0.0
+
+    def test_close_fails_queued_requests(self):
+        scheduler, clock = make_scheduler()
+        request = scheduler.submit(IMAGE)
+        scheduler.close()
+        with pytest.raises(QueueFullError):
+            request.result(timeout=0)
+        with pytest.raises(QueueFullError):
+            scheduler.submit(IMAGE)
+
+    def test_wait_for_batch_returns_queued_work_without_sleeping(self):
+        # Deterministic blocking path: work is already due, so wait_for_batch
+        # returns on its first poll regardless of timeout.
+        scheduler, clock = make_scheduler()
+        scheduler.submit(IMAGE)
+        batch = scheduler.wait_for_batch(timeout=10.0, idle=True)
+        assert batch is not None and len(batch) == 1
