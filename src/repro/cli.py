@@ -9,6 +9,7 @@ Commands
 ``memory``         print the Figure-2 peak-memory table
 ``inspect``        fit QUQ on a model's calibration tensors, print modes
 ``serve-bench``    drive synthetic traffic through the serving runtime
+``chaos-soak``     serve under a seeded fault plan, audit the recovery
 
 Model-dependent commands share ``--seed`` (calibration/val sampling) and
 ``--batch-size`` (inference batch size) so runs are reproducible from the
@@ -171,6 +172,63 @@ def cmd_serve_bench(args) -> None:
         print(format_snapshot(snapshot))
 
 
+def cmd_chaos_soak(args) -> None:
+    import json
+
+    from .resilience import ResiliencePolicy, RetryPolicy
+    from .resilience.faults import FAULT_KINDS, FaultPlan
+    from .resilience.soak import ChaosSoakConfig, format_soak_report, run_chaos_soak
+    from .serve import BatchPolicy, ModelRegistry, ServeEngine
+    from .serve.registry import ModelKey
+
+    spec = f"{args.model}/{args.method}/{args.bits}/{args.coverage}"
+    seed = 0 if args.seed is None else args.seed
+    try:
+        ModelKey.parse(spec)
+        config = ChaosSoakConfig(
+            spec=spec,
+            requests=args.requests,
+            rate=args.rate,
+            seed=seed,
+            availability_floor=args.floor,
+        )
+        policy = BatchPolicy(
+            max_batch_size=args.max_batch,
+            max_wait_ms=5.0,
+            max_queue=args.queue,
+            timeout_ms=args.timeout_ms,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro chaos-soak: error: {error}")
+    # The fault windows sit within `horizon` injection events so every
+    # class is reachable in one run; the defenses are tuned snappy (short
+    # breaker cooldown, sub-second watchdog) so recovery also fits.
+    plan = FaultPlan.seeded(
+        seed=seed, kinds=FAULT_KINDS, horizon=args.horizon,
+        max_width=2, stall_s=0.15, spike=args.spike,
+    )
+    registry = ModelRegistry(
+        capacity=args.cache_capacity,
+        retry=RetryPolicy(attempts=4, backoff_s=0.05),
+        faults=plan,
+    )
+    resilience = ResiliencePolicy(
+        breaker_failures=2, breaker_cooldown_s=0.25, watchdog_stall_s=0.1
+    )
+    with ServeEngine(registry, policy, resilience=resilience, faults=plan) as engine:
+        report = run_chaos_soak(engine, plan, config)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_soak_report(report))
+    if not report["passed"]:
+        raise SystemExit(1)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     commands = parser.add_subparsers(dest="command", required=True)
@@ -231,6 +289,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the raw metrics snapshot as JSON")
     _add_repro_flags(serve)
     serve.set_defaults(fn=cmd_serve_bench)
+
+    soak = commands.add_parser(
+        "chaos-soak",
+        help="serve synthetic traffic under a seeded fault plan and audit recovery",
+    )
+    soak.add_argument("--model", default="vit_s",
+                      help="paper (vit_s) or zoo (vit_mini_s) model name")
+    soak.add_argument("--method", default="quq",
+                      choices=["baseq", "quq", "biscaled", "fqvit", "ptq4vit", "fp32"])
+    soak.add_argument("--bits", type=int, default=6)
+    soak.add_argument("--coverage", default="full", choices=["partial", "full"])
+    soak.add_argument("--requests", type=int, default=192)
+    soak.add_argument("--rate", type=float, default=150.0,
+                      help="offered load, requests per second")
+    soak.add_argument("--floor", type=float, default=0.5,
+                      help="minimum acceptable availability (completed/offered)")
+    soak.add_argument("--horizon", type=int, default=12,
+                      help="event horizon for seeded fault-window placement")
+    soak.add_argument("--spike", type=int, default=16,
+                      help="extra submissions per queue-spike event")
+    soak.add_argument("--max-batch", type=int, default=8, dest="max_batch")
+    soak.add_argument("--queue", type=int, default=64,
+                      help="bounded queue size (backpressure threshold)")
+    soak.add_argument("--timeout-ms", type=float, default=5000.0, dest="timeout_ms")
+    soak.add_argument("--cache-capacity", type=int, default=2, dest="cache_capacity")
+    soak.add_argument("--output", default=None,
+                      help="also write the JSON report to this path")
+    soak.add_argument("--json", action="store_true",
+                      help="print the raw report as JSON")
+    _add_repro_flags(soak)
+    soak.set_defaults(fn=cmd_chaos_soak)
     return parser
 
 

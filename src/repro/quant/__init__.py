@@ -26,6 +26,7 @@ from .hessian import DEFAULT_GRID, hessian_refine
 from .metrics import cosine_similarity, mse, sqnr_db
 from .export import QuantizedArtifact, deployment_report, export_quantized, load_quantized
 from .serialize import (
+    ChecksumError,
     load_quantizer_states,
     quantizer_from_state,
     quantizer_state,
@@ -87,6 +88,7 @@ __all__ = [
     "quantizer_state",
     "quantizer_from_state",
     "save_quantizer_states",
+    "ChecksumError",
     "load_quantizer_states",
     "allocate_mixed_precision",
     "CALIBRATION_STRATEGIES",

@@ -201,17 +201,22 @@ class PTQPipeline:
         header = {"method": self.method, "bits": self.bits, "coverage": self.coverage}
         return save_quantizer_states(self.env.quantizers, path, header=header)
 
-    def load_quantizers(self, path: str | Path) -> "PTQPipeline":
+    def load_quantizers(
+        self, path: str | Path, *, require_checksum: bool = False
+    ) -> "PTQPipeline":
         """Warm-start from :meth:`save_quantizers` output (skips calibration).
 
         Validates that the archive was produced by a pipeline with the
         same method/bits/coverage, installs the quantizers, and leaves the
         model running with fake quantization attached — the same end state
-        as :meth:`calibrate`.
+        as :meth:`calibrate`.  ``require_checksum=True`` additionally
+        rejects pre-checksum archives (see ``load_quantizer_states``).
         """
         from .serialize import load_quantizer_states
 
-        header, quantizers = load_quantizer_states(path)
+        header, quantizers = load_quantizer_states(
+            path, require_checksum=require_checksum
+        )
         for field in ("method", "bits", "coverage"):
             expected, found = getattr(self, field), header.get(field)
             if found != expected:

@@ -151,15 +151,20 @@ def quantize_with_params(x: np.ndarray, params: QUQParams) -> QuantizedTensor:
 def fake_quantize_with_params(x: np.ndarray, params: QUQParams) -> np.ndarray:
     """Quantize-dequantize under Eq. (3) without materializing codes.
 
-    Pure float32 vectorized fast path, equivalent to
+    Vectorized fast path, equivalent to
     ``quantize_with_params(x, params).dequantize()`` (tested); used on the
-    inference hot path where only values matter.
+    inference hot path where only values matter.  Code selection (the
+    value/delta ratio and the fine/coarse routing) runs in float64 to match
+    the code path — a float32 ratio picks the adjacent code when an element
+    sits a hair from a rounding tie — and only the output is float32.
     """
-    x = np.asarray(x, dtype=np.float32)
-    out = np.zeros_like(x)
+    x = np.asarray(x, dtype=np.float64)
+    out = np.zeros(x.shape, dtype=np.float32)
 
     def snap(values, delta, low, high):
-        return np.clip(np.rint(values / delta), low, high) * np.float32(delta)
+        return (np.clip(np.rint(values / delta), low, high) * delta).astype(
+            np.float32
+        )
 
     has_positive = params.f_pos is not None or params.c_pos is not None
     has_negative = params.f_neg is not None or params.c_neg is not None
@@ -169,7 +174,7 @@ def fake_quantize_with_params(x: np.ndarray, params: QUQParams) -> np.ndarray:
         side = x >= 0 if has_negative else np.ones(x.shape, dtype=bool)
         fine, coarse = params.f_pos, params.c_pos
         if fine is not None and coarse is not None:
-            span = np.float32((fine.levels - 1) * fine.delta * (1.0 + 1e-6))
+            span = (fine.levels - 1) * fine.delta * (1.0 + 1e-6)
             value = np.where(
                 x <= span,
                 snap(x, fine.delta, 0, fine.levels - 1),
@@ -185,7 +190,7 @@ def fake_quantize_with_params(x: np.ndarray, params: QUQParams) -> np.ndarray:
         side = x < 0 if has_positive else np.ones(x.shape, dtype=bool)
         fine, coarse = params.f_neg, params.c_neg
         if fine is not None and coarse is not None:
-            span = np.float32(fine.levels * fine.delta * (1.0 + 1e-6))
+            span = fine.levels * fine.delta * (1.0 + 1e-6)
             value = np.where(
                 -x <= span,
                 snap(x, fine.delta, -fine.levels, 0),

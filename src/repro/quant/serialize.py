@@ -17,6 +17,7 @@ to the last bit (tested).
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -32,6 +33,7 @@ from .uniform import AsymmetricUniformQuantizer, RowwiseUniformQuantizer, Unifor
 
 __all__ = [
     "STATE_VERSION",
+    "ChecksumError",
     "quantizer_state",
     "quantizer_from_state",
     "save_quantizer_states",
@@ -39,6 +41,31 @@ __all__ = [
 ]
 
 STATE_VERSION = 1
+
+
+class ChecksumError(ValueError):
+    """Archive contents do not match the checksum recorded at save time."""
+
+
+def _payload_checksum(arrays: dict[str, np.ndarray], record: dict) -> str:
+    """SHA-256 over every array payload plus the canonical JSON record.
+
+    The record is hashed without its ``checksum`` field, dumped with
+    sorted keys so the digest is stable across save/load round trips
+    (Python's float repr round-trips exactly, so re-dumping the parsed
+    record reproduces the original byte string).
+    """
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(b"\x00")
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    stripped = {key: value for key, value in record.items() if key != "checksum"}
+    digest.update(json.dumps(stripped, sort_keys=True).encode())
+    return digest.hexdigest()
 
 #: Scalar attributes captured per quantizer class (bits is handled
 #: separately; array-valued state is handled explicitly below).
@@ -116,14 +143,23 @@ def save_quantizer_states(
         for field, array in arrays.items():
             payload[f"a:{name}:{field}"] = array
     record = {"version": STATE_VERSION, "header": header or {}, "taps": taps}
+    record["checksum"] = _payload_checksum(payload, record)
     payload["__meta__"] = np.array(json.dumps(record))
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez(path, **payload)
     return path
 
 
-def load_quantizer_states(path: str | Path) -> tuple[dict, dict[str, Quantizer]]:
-    """Load ``(header, tap -> quantizer)`` written by :func:`save_quantizer_states`."""
+def load_quantizer_states(
+    path: str | Path, *, require_checksum: bool = False
+) -> tuple[dict, dict[str, Quantizer]]:
+    """Load ``(header, tap -> quantizer)`` written by :func:`save_quantizer_states`.
+
+    Archives predating checksums load unverified by default;
+    ``require_checksum=True`` rejects them too (a corrupted legacy archive
+    is undetectable, so a caller that must never serve silent garbage —
+    the serving registry — treats "unverifiable" the same as "corrupt").
+    """
     payload = np.load(Path(path))
     if "__meta__" not in payload.files:
         raise ValueError(f"{path} is not a quantizer-state archive (no __meta__)")
@@ -133,6 +169,23 @@ def load_quantizer_states(path: str | Path) -> tuple[dict, dict[str, Quantizer]]
             f"unsupported quantizer-state version {record.get('version')!r} "
             f"(expected {STATE_VERSION})"
         )
+    recorded = record.get("checksum")
+    if recorded is None:
+        if require_checksum:
+            raise ChecksumError(
+                f"{path}: quantizer-state archive has no checksum (written "
+                f"before checksums existed) — corruption would be "
+                f"undetectable; recalibrate to upgrade the artifact"
+            )
+    else:
+        arrays = {name: payload[name] for name in payload.files if name != "__meta__"}
+        actual = _payload_checksum(arrays, record)
+        if actual != recorded:
+            raise ChecksumError(
+                f"{path}: quantizer-state checksum mismatch "
+                f"(recorded {recorded[:12]}…, recomputed {actual[:12]}…); "
+                f"the artifact is corrupt — recalibrate"
+            )
     quantizers: dict[str, Quantizer] = {}
     for name, meta in record["taps"].items():
         prefix = f"a:{name}:"

@@ -1,0 +1,112 @@
+"""Per-lane circuit breaker: closed -> open -> half-open -> closed.
+
+Protects the quantized predict path of one serving lane.  While *closed*,
+batches run through the quantized artifact; after ``failure_threshold``
+consecutive failures the breaker *opens* and the lane serves the float
+model instead (degraded but available).  Once ``cooldown_s`` has elapsed
+on the injected clock, the next :meth:`allow` admits exactly one
+*half-open* probe batch back onto the quantized path: success closes the
+breaker (the artifact is re-admitted), failure re-opens it and re-arms
+the cooldown.
+
+All transitions are driven by the injected clock, so the full state
+machine is unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CLOSED", "OPEN", "HALF_OPEN", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a single half-open recovery probe."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 5.0,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self.trips = 0  # closed/half-open -> open transitions
+        self.probes = 0  # half-open batches admitted
+        self.recoveries = 0  # half-open -> closed transitions
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    # ------------------------------------------------------------------
+    def allow(self, now: float | None = None) -> bool:
+        """May the protected (quantized) path run right now?
+
+        In the open state this is where the cooldown expiry is noticed;
+        at most one half-open probe is admitted until it reports back.
+        """
+        with self._lock:
+            now = self.clock() if now is None else now
+            if self._state == OPEN and now - self._opened_at >= self.cooldown_s:
+                self._state = HALF_OPEN
+                self._probe_in_flight = False
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                self.probes += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self.recoveries += 1
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+
+    def record_failure(self, now: float | None = None) -> None:
+        with self._lock:
+            now = self.clock() if now is None else now
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN:
+                self._trip(now)
+            elif self._state == CLOSED and (
+                self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip(now)
+
+    def _trip(self, now: float) -> None:
+        self._state = OPEN
+        self._opened_at = now
+        self._probe_in_flight = False
+        self.trips += 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "trips": self.trips,
+                "probes": self.probes,
+                "recoveries": self.recoveries,
+            }

@@ -1,0 +1,65 @@
+"""Numeric guardrails: never serve NaN/Inf/saturated logits.
+
+Aggressive low-bit configs — the regime QUQ's quadruplet design exists to
+tame — fail *numerically* before they fail loudly: a blown scale factor
+turns one batch's logits into NaN/Inf or values saturated far beyond any
+real logit, and ``argmax`` happily returns a label anyway.  The guard
+scans every batch before results are completed; a failed scan makes the
+engine fail over to the float path, and if that is bad too the batch is
+failed with :class:`NumericGuardError` — counted, never served.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GuardVerdict", "NumericGuard", "NumericGuardError"]
+
+
+class NumericGuardError(RuntimeError):
+    """A batch's logits failed the numeric guard and were not served."""
+
+
+@dataclass(frozen=True)
+class GuardVerdict:
+    """Scan outcome: element counts per failure class plus a summary."""
+
+    nan: int
+    inf: int
+    saturated: int
+
+    @property
+    def ok(self) -> bool:
+        return self.nan == 0 and self.inf == 0 and self.saturated == 0
+
+    @property
+    def reason(self) -> str:
+        if self.ok:
+            return "ok"
+        parts = [
+            f"{count} {label}"
+            for label, count in (
+                ("NaN", self.nan), ("Inf", self.inf), ("saturated", self.saturated)
+            )
+            if count
+        ]
+        return f"logits failed numeric guard: {', '.join(parts)} element(s)"
+
+
+class NumericGuard:
+    """Scans logit batches for NaN, Inf, and saturation past ``limit``."""
+
+    def __init__(self, saturation_limit: float = 1e6):
+        if saturation_limit <= 0:
+            raise ValueError(f"saturation_limit must be > 0, got {saturation_limit}")
+        self.saturation_limit = saturation_limit
+
+    def scan(self, logits: np.ndarray) -> GuardVerdict:
+        values = np.asarray(logits)
+        nan = int(np.isnan(values).sum())
+        inf = int(np.isinf(values).sum())
+        finite = values[np.isfinite(values)] if nan or inf else values
+        saturated = int((np.abs(finite) > self.saturation_limit).sum())
+        return GuardVerdict(nan=nan, inf=inf, saturated=saturated)

@@ -1,0 +1,52 @@
+"""Bounded retry with exponential backoff for transient failures.
+
+Built for the registry's model/artifact loads, where the survey-reported
+failure mode is transient (a loader hiccup, a file mid-write): retry a
+bounded number of times with exponential backoff, then re-raise.  The
+sleep function is injected so tests assert the exact backoff schedule
+without waiting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass
+class RetryPolicy:
+    """``attempts`` tries total; sleep ``backoff_s * multiplier**n`` between."""
+
+    attempts: int = 3
+    backoff_s: float = 0.05
+    multiplier: float = 2.0
+    max_backoff_s: float = 1.0
+    retry_on: tuple[type[BaseException], ...] = (Exception,)
+    sleep: object = field(default=time.sleep, repr=False)
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.backoff_s < 0 or self.max_backoff_s < 0 or self.multiplier < 1:
+            raise ValueError("backoff_s/max_backoff_s must be >= 0, multiplier >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based failure count)."""
+        return min(self.backoff_s * self.multiplier**attempt, self.max_backoff_s)
+
+    def call(self, fn, on_retry=None):
+        """Run ``fn`` under the policy; ``on_retry(error, attempt, delay)``
+        is invoked before each backoff sleep."""
+        for attempt in range(self.attempts):
+            try:
+                return fn()
+            except self.retry_on as error:
+                if attempt == self.attempts - 1:
+                    raise
+                pause = self.delay(attempt)
+                if on_retry is not None:
+                    on_retry(error, attempt, pause)
+                self.sleep(pause)
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -1,10 +1,29 @@
-"""Worker executor: registry + micro-batching scheduler + metrics.
+"""Worker executor: registry + micro-batching scheduler + metrics + defenses.
 
 One *lane* per model spec, each with its own bounded queue and worker
 thread(s): workers pull coalesced batches from the lane's scheduler, run
 them through the registry's (quantized) model, and complete the waiting
 requests.  The registry already degrades to the float model when a
-quantized artifact fails to load, so a lane keeps serving either way.
+quantized artifact fails to load; the engine protects the steady state
+on top of that (:mod:`repro.resilience`):
+
+* a per-lane **circuit breaker** — after ``breaker_failures`` consecutive
+  quantized-path failures the lane trips to the float model, then
+  re-admits the quantized artifact through a half-open probe after
+  ``breaker_cooldown_s`` on the engine clock;
+* a **numeric guardrail** — every batch's logits are scanned for
+  NaN/Inf/saturation before completion; a failed scan fails over to the
+  float path, and a batch that is bad on both paths is failed, never
+  served;
+* a **worker watchdog** — a lane that is busy but silent past
+  ``watchdog_stall_s`` gets a replacement worker via
+  :meth:`ServeEngine.check_watchdog` (the wedged daemon thread finishes
+  or dies on its own; late completions are first-wins no-ops).
+
+An optional :class:`~repro.resilience.faults.FaultPlan` injects
+deterministic faults at the batch-execution sites (exceptions, polluted
+logits, stalls) — the mechanism the resilience tests and the chaos soak
+harness drive.
 
 Single worker per lane is the right default for the NumPy substrate (one
 batch saturates the BLAS threads); more workers mainly exercise the
@@ -19,6 +38,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..resilience import ResiliencePolicy
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.faults import BATCH_EXCEPTION, FaultPlan
+from ..resilience.guards import NumericGuard, NumericGuardError
+from ..resilience.watchdog import WorkerWatchdog
 from .metrics import Metrics
 from .registry import ModelKey, ModelRegistry
 from .scheduler import Batch, BatchPolicy, MicroBatchScheduler, QueueFullError, ServeRequest
@@ -37,13 +61,17 @@ class ServeResult:
 
 
 class _Lane:
-    """Per-model-spec queue, workers, and in-flight accounting."""
+    """Per-model-spec queue, workers, breaker, and in-flight accounting."""
 
-    def __init__(self, key: ModelKey, scheduler: MicroBatchScheduler):
+    def __init__(self, key: ModelKey, scheduler: MicroBatchScheduler,
+                 breaker: CircuitBreaker):
         self.key = key
         self.scheduler = scheduler
+        self.breaker = breaker
         self.threads: list[threading.Thread] = []
         self.in_flight = 0
+        self.active: list[Batch] = []  # batches currently executing
+        self.restarts = 0  # watchdog-spawned replacement workers
         self.lock = threading.Lock()
 
 
@@ -57,6 +85,8 @@ class ServeEngine:
         metrics: Metrics | None = None,
         workers: int = 1,
         clock=time.monotonic,
+        resilience: ResiliencePolicy | None = None,
+        faults: FaultPlan | None = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -67,6 +97,12 @@ class ServeEngine:
         self.metrics = Metrics() if metrics is None else metrics
         self.workers = workers
         self.clock = clock
+        self.resilience = ResiliencePolicy() if resilience is None else resilience
+        self.faults = faults
+        self.guard = NumericGuard(saturation_limit=self.resilience.guard_saturation)
+        self.watchdog = WorkerWatchdog(
+            stall_after_s=self.resilience.watchdog_stall_s, clock=clock
+        )
         self._lanes: dict[ModelKey, _Lane] = {}
         self._lock = threading.Lock()
         self._stopping = False
@@ -78,18 +114,30 @@ class ServeEngine:
                 raise RuntimeError("engine is stopped")
             lane = self._lanes.get(key)
             if lane is None:
-                lane = _Lane(key, MicroBatchScheduler(self.policy, clock=self.clock))
-                for index in range(self.workers):
-                    thread = threading.Thread(
-                        target=self._worker,
-                        args=(lane,),
-                        name=f"serve-{key.slug}-{index}",
-                        daemon=True,
-                    )
-                    lane.threads.append(thread)
-                    thread.start()
+                lane = _Lane(
+                    key,
+                    MicroBatchScheduler(self.policy, clock=self.clock),
+                    CircuitBreaker(
+                        failure_threshold=self.resilience.breaker_failures,
+                        cooldown_s=self.resilience.breaker_cooldown_s,
+                        clock=self.clock,
+                    ),
+                )
+                self.watchdog.reset(key.spec, now=self.clock())
+                for _ in range(self.workers):
+                    self._start_worker(lane)
                 self._lanes[key] = lane
             return lane
+
+    def _start_worker(self, lane: _Lane) -> None:
+        thread = threading.Thread(
+            target=self._worker,
+            args=(lane,),
+            name=f"serve-{lane.key.slug}-{len(lane.threads)}",
+            daemon=True,
+        )
+        lane.threads.append(thread)
+        thread.start()
 
     def warm(self, spec: str | ModelKey) -> None:
         """Load (and calibrate or warm-start) a model before traffic arrives."""
@@ -99,21 +147,28 @@ class ServeEngine:
         """Enqueue one image; returns the request handle to wait on.
 
         Raises :class:`~repro.serve.scheduler.QueueFullError` when the
-        lane's bounded queue is full (backpressure).
+        lane's bounded queue is full (backpressure).  Only *accepted*
+        requests count toward ``requests_total`` and the queue-depth
+        distribution; rejections increment ``rejected_total`` (global and
+        per-lane) instead.
         """
         key = ModelKey.parse(spec) if isinstance(spec, str) else spec
         lane = self._lane(key)
-        self.metrics.counter("requests_total").inc()
-        self.metrics.distribution("queue_depth").observe(lane.scheduler.qsize())
         try:
-            return lane.scheduler.submit(np.asarray(image, dtype=np.float32))
+            request = lane.scheduler.submit(np.asarray(image, dtype=np.float32))
         except QueueFullError:
             self.metrics.counter("rejected_total").inc()
+            self.metrics.counter("rejected_total", labels={"spec": key.spec}).inc()
             raise
+        self.metrics.counter("requests_total").inc()
+        self.metrics.distribution("queue_depth").observe(lane.scheduler.qsize())
+        return request
 
     # ------------------------------------------------------------------
     def _worker(self, lane: _Lane) -> None:
+        spec = lane.key.spec
         while not self._stopping:
+            self.watchdog.beat(spec, now=self.clock())
             with lane.lock:
                 idle = lane.in_flight == 0
             batch = lane.scheduler.wait_for_batch(timeout=0.1, idle=idle)
@@ -121,22 +176,73 @@ class ServeEngine:
                 continue
             with lane.lock:
                 lane.in_flight += 1
+                lane.active.append(batch)
             try:
                 self._execute(lane, batch)
             finally:
                 with lane.lock:
                     lane.in_flight -= 1
+                    if batch in lane.active:
+                        lane.active.remove(batch)
+
+    def _fail_batch(self, lane: _Lane, batch: Batch, error: BaseException) -> None:
+        spec = lane.key.spec
+        if isinstance(error, NumericGuardError):
+            self.metrics.counter("guard_trips_total").inc()
+            self.metrics.counter("guard_trips_total", labels={"spec": spec}).inc()
+        self.metrics.counter("errors_total").inc()
+        self.metrics.counter("errors_total", labels={"spec": spec}).inc()
+        now = self.clock()
+        for request in batch.requests:
+            request.set_exception(error, now=now)
 
     def _execute(self, lane: _Lane, batch: Batch) -> None:
+        spec = lane.key.spec
         started = self.clock()
+        self.watchdog.beat(spec, now=started)
+        if self.faults is not None:
+            self.faults.serve_stall(site=spec)  # stuck/slow-worker injection
         try:
             servable = self.registry.get(lane.key)
-            logits = servable.predict(batch.images)
         except Exception as error:
-            self.metrics.counter("errors_total").inc()
-            for request in batch.requests:
-                request.set_exception(error, now=self.clock())
+            lane.breaker.record_failure()
+            self._fail_batch(lane, batch, error)
             return
+        quantized = servable.quantized and lane.breaker.allow()
+        logits = None
+        if quantized:
+            try:
+                if self.faults is not None:
+                    self.faults.raise_if(BATCH_EXCEPTION, site=spec)
+                candidate = servable.predict(batch.images)
+                if self.faults is not None:
+                    candidate = self.faults.corrupt_logits(candidate, site=spec)
+                verdict = self.guard.scan(candidate)
+                if not verdict.ok:
+                    raise NumericGuardError(verdict.reason)
+                logits = candidate
+                lane.breaker.record_success()
+            except Exception as error:
+                # The quantized artifact misbehaved: count it against the
+                # breaker, then fail over to the float path for this batch
+                # rather than failing the waiting requests.
+                lane.breaker.record_failure()
+                quantized = False
+                self.metrics.counter("failovers_total").inc()
+                self.metrics.counter("failovers_total", labels={"spec": spec}).inc()
+                if isinstance(error, NumericGuardError):
+                    self.metrics.counter("guard_trips_total").inc()
+                    self.metrics.counter("guard_trips_total", labels={"spec": spec}).inc()
+        if logits is None:
+            try:
+                candidate = servable.predict_float(batch.images)
+                verdict = self.guard.scan(candidate)
+                if not verdict.ok:
+                    raise NumericGuardError(verdict.reason)
+                logits = candidate
+            except Exception as error:
+                self._fail_batch(lane, batch, error)
+                return
         finished = self.clock()
         self.metrics.counter("batches_total").inc()
         self.metrics.distribution("batch_size").observe(len(batch))
@@ -151,9 +257,41 @@ class ServeEngine:
             )
             self.metrics.counter("responses_total").inc()
             request.set_result(
-                ServeResult(int(label), row, len(batch), servable.quantized),
+                ServeResult(int(label), row, len(batch), quantized),
                 now=finished,
             )
+
+    # ------------------------------------------------------------------
+    def check_watchdog(self, now: float | None = None) -> list[str]:
+        """Restart any lane that is busy but has stopped heartbeating.
+
+        Returns the specs restarted.  Callers drive this explicitly (the
+        chaos soak does so between arrivals; tests with a fake clock call
+        it directly) so detection is deterministic.
+        """
+        now = self.clock() if now is None else now
+        with self._lock:
+            if self._stopping:
+                return []
+            lanes = list(self._lanes.values())
+        restarted = []
+        for lane in lanes:
+            with lane.lock:
+                busy = lane.in_flight > 0
+            if not busy or not self.watchdog.stalled(lane.key.spec, now=now):
+                continue
+            with self._lock:
+                if self._stopping:
+                    break
+                self._start_worker(lane)
+            lane.restarts += 1
+            self.watchdog.reset(lane.key.spec, now=now)
+            self.metrics.counter("watchdog_restarts_total").inc()
+            self.metrics.counter(
+                "watchdog_restarts_total", labels={"spec": lane.key.spec}
+            ).inc()
+            restarted.append(lane.key.spec)
+        return restarted
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
@@ -169,6 +307,8 @@ class ServeEngine:
                         "queued": lane.scheduler.qsize(),
                         "timed_out": lane.scheduler.timed_out,
                         "rejected": lane.scheduler.rejected,
+                        "breaker": lane.breaker.snapshot(),
+                        "watchdog_restarts": lane.restarts,
                     }
                     for lane in lanes.values()
                 },
@@ -176,10 +316,17 @@ class ServeEngine:
             }
         )
 
-    def drain(self, timeout: float = 30.0) -> bool:
-        """Wait until every queue is empty and nothing is in flight."""
-        deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
+    def drain(self, timeout: float = 30.0, wall_cap: float | None = None) -> bool:
+        """Wait until every queue is empty and nothing is in flight.
+
+        ``timeout`` is measured on the injected engine clock, so
+        fake-clock tests can exercise the deadline; ``wall_cap`` (default:
+        ``timeout``) is a real-time safety bound so a clock that never
+        advances cannot spin forever.
+        """
+        deadline = self.clock() + timeout
+        wall_deadline = time.monotonic() + (timeout if wall_cap is None else wall_cap)
+        while self.clock() < deadline and time.monotonic() < wall_deadline:
             with self._lock:
                 lanes = list(self._lanes.values())
             busy = any(
@@ -192,6 +339,8 @@ class ServeEngine:
 
     def stop(self) -> None:
         self._stopping = True
+        if self.faults is not None:
+            self.faults.release_stalls()  # let injected stalls unwind
         with self._lock:
             lanes = list(self._lanes.values())
         for lane in lanes:
@@ -199,6 +348,17 @@ class ServeEngine:
         for lane in lanes:
             for thread in lane.threads:
                 thread.join(timeout=2.0)
+        # A worker that would not join is wedged inside a batch; fail that
+        # batch's requests so no submitter hangs (late completions by the
+        # wedged daemon are first-wins no-ops).
+        for lane in lanes:
+            with lane.lock:
+                pending = [r for b in lane.active for r in b.requests]
+            for request in pending:
+                if not request.done():
+                    request.set_exception(
+                        RuntimeError("engine stopped before batch completed")
+                    )
 
     def __enter__(self) -> "ServeEngine":
         return self

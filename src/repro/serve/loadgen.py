@@ -89,6 +89,9 @@ def run_serve_benchmark(
         "duration_s": round(duration, 4),
         "throughput_rps": round(completed / duration, 2) if duration > 0 else 0.0,
         "offered_rate_rps": rate,
+        # Fraction of offered requests answered successfully — the
+        # availability number the chaos soak holds a floor against.
+        "availability": round(completed / requests, 4),
     }
     return snapshot
 
@@ -134,5 +137,27 @@ def format_snapshot(snapshot: dict) -> str:
               registry.get("calibrations", 0), registry.get("evictions", 0),
               registry.get("fallbacks", 0)]],
             title="Registry",
+        ))
+    counters = snapshot.get("counters", {})
+    resilience = [
+        [name, counters[name]]
+        for name in ("failovers_total", "guard_trips_total",
+                     "watchdog_restarts_total", "errors_total", "rejected_total")
+        if counters.get(name)
+    ]
+    breakers = [
+        [spec, lane["breaker"]["state"], lane["breaker"]["trips"],
+         lane["breaker"]["recoveries"], lane.get("watchdog_restarts", 0)]
+        for spec, lane in sorted(snapshot.get("lanes", {}).items())
+        if "breaker" in lane and (lane["breaker"]["trips"]
+                                  or lane.get("watchdog_restarts"))
+    ]
+    if resilience:
+        sections.append(format_table(["event", "count"], resilience,
+                                     title="Resilience events"))
+    if breakers:
+        sections.append(format_table(
+            ["lane", "breaker", "trips", "recoveries", "restarts"],
+            breakers, title="Lane health",
         ))
     return "\n\n".join(sections)

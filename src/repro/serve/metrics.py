@@ -17,6 +17,14 @@ import numpy as np
 __all__ = ["Counter", "Distribution", "Histogram", "Metrics"]
 
 
+def _labelled(name: str, labels: dict | None) -> str:
+    """Canonical instrument name with sorted Prometheus-style labels."""
+    if not labels:
+        return name
+    inner = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
 class Counter:
     """Monotonic counter."""
 
@@ -120,17 +128,17 @@ class Metrics:
         self._histograms: dict[str, Histogram] = {}
         self._lock = threading.Lock()
 
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str, labels: dict | None = None) -> Counter:
         with self._lock:
-            return self._counters.setdefault(name, Counter())
+            return self._counters.setdefault(_labelled(name, labels), Counter())
 
-    def distribution(self, name: str) -> Distribution:
+    def distribution(self, name: str, labels: dict | None = None) -> Distribution:
         with self._lock:
-            return self._distributions.setdefault(name, Distribution())
+            return self._distributions.setdefault(_labelled(name, labels), Distribution())
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str, labels: dict | None = None) -> Histogram:
         with self._lock:
-            return self._histograms.setdefault(name, Histogram())
+            return self._histograms.setdefault(_labelled(name, labels), Histogram())
 
     def snapshot(self, extra: dict | None = None) -> dict:
         """JSON-serializable view of every instrument (plus ``extra``)."""

@@ -29,6 +29,8 @@ from ..models import MINI_CONFIGS, MINI_FOR_PAPER, get_trained_model
 from ..models.cnn import CNN_MINI
 from ..models.zoo import DATASET_SPEC, cache_dir
 from ..quant.qmodel import METHODS, PTQPipeline
+from ..quant.serialize import ChecksumError
+from ..resilience.faults import CORRUPT_STATE, LOAD_ERROR, tamper_quantizer_state
 
 __all__ = ["ModelKey", "ServableModel", "ModelRegistry"]
 
@@ -62,11 +64,26 @@ class ModelKey:
             raise ValueError(
                 f"unknown method {method!r}; choices: {_SERVABLE_METHODS}"
             )
-        if not bits.isdigit():
-            raise ValueError(f"bits must be an integer, got {bits!r}")
+        try:
+            bits_value = int(bits)
+        except ValueError:
+            raise ValueError(f"bits must be an integer, got {bits!r}") from None
+        if str(bits_value) != bits:
+            raise ValueError(
+                f"bits must be a plain decimal integer (no padding or sign), "
+                f"got {bits!r}"
+            )
+        # fp32 ignores the width for quantization but conventionally reads
+        # as the float width, so "vit_s/fp32/32" stays a valid spec.
+        ceiling = 32 if method == "fp32" else 16
+        if not 1 <= bits_value <= ceiling:
+            raise ValueError(
+                f"bits must be between 1 and {ceiling} for method {method!r}, "
+                f"got {bits_value}"
+            )
         if coverage not in ("partial", "full"):
             raise ValueError(f"coverage must be partial|full, got {coverage!r}")
-        return cls(model, method, int(bits), coverage)
+        return cls(model, method, bits_value, coverage)
 
     @property
     def spec(self) -> str:
@@ -102,9 +119,29 @@ class ServableModel:
     def predict(self, images: np.ndarray) -> np.ndarray:
         """Logits for a batch; serialized so one model runs one batch at a time."""
         with self._lock:
-            self.model.eval()
-            with no_grad():
-                return self.model(Tensor(images)).data
+            return self._forward(images)
+
+    def predict_float(self, images: np.ndarray) -> np.ndarray:
+        """Logits through the float weights, quantization detached.
+
+        The circuit breaker and the numeric guard fail over to this path:
+        the same model answers, minus the (possibly misbehaving) quantized
+        artifact.  The pipeline is re-attached before the lock is
+        released, so interleaved ``predict`` calls still see it.
+        """
+        with self._lock:
+            if self.pipeline is None:
+                return self._forward(images)
+            self.pipeline.detach()
+            try:
+                return self._forward(images)
+            finally:
+                self.pipeline.attach()
+
+    def _forward(self, images: np.ndarray) -> np.ndarray:
+        self.model.eval()
+        with no_grad():
+            return self.model(Tensor(images)).data
 
 
 class ModelRegistry:
@@ -117,6 +154,8 @@ class ModelRegistry:
         loader=None,
         calib_provider=None,
         hessian: bool = False,
+        retry=None,
+        faults=None,
     ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -125,6 +164,8 @@ class ModelRegistry:
         self._loader = loader or (lambda name: get_trained_model(name, verbose=True))
         self._calib_provider = calib_provider
         self._hessian = hessian
+        self._retry = retry  # resilience.RetryPolicy for transient loads
+        self._faults = faults  # resilience.FaultPlan (chaos testing only)
         self._calib: np.ndarray | None = None
         self._entries: "OrderedDict[ModelKey, ServableModel]" = OrderedDict()
         self._lock = threading.RLock()
@@ -135,6 +176,9 @@ class ModelRegistry:
             "warm_loads": 0,
             "calibrations": 0,
             "fallbacks": 0,
+            "retries": 0,
+            "load_failures": 0,
+            "checksum_rejects": 0,
         }
 
     # ------------------------------------------------------------------
@@ -150,8 +194,27 @@ class ModelRegistry:
     def state_path(self, key: ModelKey) -> Path:
         return self.artifact_dir / f"{key.slug}.quantizers.npz"
 
+    def _load_model(self, key: ModelKey):
+        """Run the loader under the retry policy (and the fault plan)."""
+
+        def attempt():
+            if self._faults is not None:
+                self._faults.raise_if(LOAD_ERROR, site=key.spec)
+            return self._loader(key.model)
+
+        def on_retry(error, attempt_index, delay):
+            self.stats["retries"] += 1
+
+        try:
+            if self._retry is None:
+                return attempt()
+            return self._retry.call(attempt, on_retry=on_retry)
+        except Exception:
+            self.stats["load_failures"] += 1
+            raise
+
     def _build(self, key: ModelKey) -> ServableModel:
-        model, fp32 = self._loader(key.model)
+        model, fp32 = self._load_model(key)
         if key.method == "fp32":
             return ServableModel(key, model, fp32, pipeline=None)
         try:
@@ -160,10 +223,24 @@ class ModelRegistry:
             )
             state = self.state_path(key)
             if state.exists():
+                if self._faults is not None and (
+                    self._faults.fire(CORRUPT_STATE, site=key.spec) is not None
+                ):
+                    tamper_quantizer_state(state, seed=key.bits)
                 try:
-                    pipeline.load_quantizers(state)
+                    # require_checksum: a legacy archive with no checksum
+                    # cannot prove it is uncorrupted, so the serving path
+                    # recalibrates (which re-saves it checksummed) instead
+                    # of trusting it.
+                    pipeline.load_quantizers(state, require_checksum=True)
                     self.stats["warm_loads"] += 1
                     return ServableModel(key, model, fp32, pipeline)
+                except ChecksumError:
+                    # Corrupt (or unverifiable) artifact: reject it and fall
+                    # through to a fresh calibration rather than serving
+                    # silent garbage.
+                    self.stats["checksum_rejects"] += 1
+                    state.unlink(missing_ok=True)
                 except Exception:
                     state.unlink(missing_ok=True)  # stale/corrupt: recalibrate
             pipeline.calibrate(self._calibration_images())
@@ -197,6 +274,17 @@ class ModelRegistry:
                 self._entries.popitem(last=False)
                 self.stats["evictions"] += 1
             return entry
+
+    def invalidate(self, spec: str | ModelKey) -> bool:
+        """Drop a cached entry so the next ``get`` rebuilds from disk.
+
+        Operational escape hatch (and the chaos harness's way to force a
+        reload through a corrupted artifact).  Returns whether an entry
+        was actually dropped.
+        """
+        key = ModelKey.parse(spec) if isinstance(spec, str) else spec
+        with self._lock:
+            return self._entries.pop(key, None) is not None
 
     def __contains__(self, spec: str | ModelKey) -> bool:
         key = ModelKey.parse(spec) if isinstance(spec, str) else spec

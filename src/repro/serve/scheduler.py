@@ -79,12 +79,19 @@ class ServeRequest:
         self._error: BaseException | None = None
 
     # ------------------------------------------------------------------
+    # Completion is first-wins: a watchdog-abandoned worker finishing late,
+    # or shutdown failing an already-completed request, must not overwrite
+    # the outcome the submitter may already have observed.
     def set_result(self, result, now: float | None = None) -> None:
+        if self._done.is_set():
+            return
         self._result = result
         self.completed_at = now
         self._done.set()
 
     def set_exception(self, error: BaseException, now: float | None = None) -> None:
+        if self._done.is_set():
+            return
         self._error = error
         self.completed_at = now
         self._done.set()

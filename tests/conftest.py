@@ -8,6 +8,10 @@ harness, not here.
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+
 import numpy as np
 import pytest
 
@@ -16,6 +20,64 @@ from repro.models.configs import ModelConfig, SwinConfig
 from repro.models.vit import build_vit
 from repro.models.swin import build_swin
 from repro.training import TrainConfig, train_classifier
+
+#: Per-test wall-clock ceiling (seconds).  Generous — a healthy test
+#: finishes in well under a minute — so trips mean a real hang, which the
+#: resilience suite's threaded scenarios could otherwise turn into a
+#: stuck CI job.  Override via the env var or a ``@pytest.mark.timeout``.
+DEFAULT_TEST_TIMEOUT_S = int(os.environ.get("REPRO_TEST_TIMEOUT_S", "180"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow", action="store_true", default=False,
+        help="run tests marked slow (skipped by default to keep tier-1 fast)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``slow`` tests unless opted in (``--run-slow`` or ``-m slow``)."""
+    if config.getoption("--run-slow") or "slow" in (config.option.markexpr or ""):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --run-slow (or -m slow)")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
+@pytest.fixture(autouse=True)
+def _timeout_guard(request):
+    """Fail (rather than hang) any test that wedges: a deadlocked worker
+    thread must show up as a test failure, not a stuck suite.
+
+    Uses SIGALRM, so the guard is a no-op on platforms without it or when
+    the test runs off the main thread.
+    """
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+    marker = request.node.get_closest_marker("timeout")
+    seconds = int(marker.args[0]) if marker and marker.args else DEFAULT_TEST_TIMEOUT_S
+    if seconds <= 0:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"{request.node.nodeid} exceeded the {seconds}s timeout guard"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
 
 TINY_VIT = ModelConfig("tiny_vit", "vit", 16, 4, 3, 10, 32, 2, 2)
 TINY_DEIT = ModelConfig("tiny_deit", "deit", 16, 4, 3, 10, 32, 2, 2, distilled=True)

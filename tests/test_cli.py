@@ -32,9 +32,9 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for command in ("zoo", "quantize", "export", "table4", "memory",
-                        "inspect", "serve-bench"):
+                        "inspect", "serve-bench", "chaos-soak"):
             # Should parse without SystemExit for arg-free commands…
-            if command in ("zoo", "table4", "memory", "serve-bench"):
+            if command in ("zoo", "table4", "memory", "serve-bench", "chaos-soak"):
                 args = parser.parse_args([command])
                 assert callable(args.fn)
 
@@ -61,6 +61,24 @@ class TestParser:
         assert args.requests == 256
         assert args.max_batch == 8
         assert args.workers == 1
+
+    def test_chaos_soak_defaults(self):
+        args = build_parser().parse_args(["chaos-soak"])
+        assert args.model == "vit_s" and args.method == "quq" and args.bits == 6
+        assert args.requests == 192 and args.rate == 150.0
+        assert args.floor == 0.5 and args.horizon == 12 and args.spike == 16
+        assert args.queue == 64 and args.output is None and not args.json
+        assert callable(args.fn)
+
+    def test_chaos_soak_flags(self):
+        args = build_parser().parse_args([
+            "chaos-soak", "--model", "deit_s", "--requests", "64",
+            "--rate", "80", "--floor", "0.8", "--seed", "9",
+            "--output", "report.json", "--json",
+        ])
+        assert args.model == "deit_s" and args.requests == 64
+        assert args.rate == 80.0 and args.floor == 0.8 and args.seed == 9
+        assert args.output == "report.json" and args.json
 
     def test_serve_bench_policy_flags(self):
         args = build_parser().parse_args([

@@ -101,6 +101,54 @@ class TestStateArchive:
             load_quantizer_states(path)
 
 
+class TestChecksum:
+    def _save(self, rng, path):
+        quantizers = {
+            "blk.weight": QUQQuantizer(6).fit(rng.normal(size=900)),
+            "blk.input": UniformQuantizer(6).fit(rng.normal(size=900)),
+        }
+        return save_quantizer_states(quantizers, path, header={"method": "quq"})
+
+    def test_clean_archive_verifies(self, rng, tmp_path):
+        path = self._save(rng, tmp_path / "state.npz")
+        header, restored = load_quantizer_states(path)  # no ChecksumError
+        assert set(restored) == {"blk.weight", "blk.input"}
+
+    def test_tampered_array_payload_is_rejected(self, rng, tmp_path):
+        from repro.quant import ChecksumError
+        from repro.resilience import tamper_quantizer_state
+
+        path = self._save(rng, tmp_path / "state.npz")
+        tamper_quantizer_state(path, seed=0)
+        with pytest.raises(ChecksumError):
+            load_quantizer_states(path)
+
+    def _strip_checksum(self, path):
+        import json
+
+        with np.load(path, allow_pickle=False) as handle:
+            payload = {name: handle[name] for name in handle.files}
+        record = json.loads(str(payload["__meta__"][()]))
+        record.pop("checksum", None)  # what a pre-checksum writer wrote
+        payload["__meta__"] = np.array(json.dumps(record))
+        np.savez(path, **payload)
+
+    def test_legacy_archive_without_checksum_still_loads(self, rng, tmp_path):
+        path = self._save(rng, tmp_path / "state.npz")
+        self._strip_checksum(path)
+        header, restored = load_quantizer_states(path)  # unverified but loadable
+        assert set(restored) == {"blk.weight", "blk.input"}
+
+    def test_require_checksum_rejects_legacy_archives(self, rng, tmp_path):
+        from repro.quant import ChecksumError
+
+        path = self._save(rng, tmp_path / "state.npz")
+        load_quantizer_states(path, require_checksum=True)  # checksummed: fine
+        self._strip_checksum(path)
+        with pytest.raises(ChecksumError, match="no checksum"):
+            load_quantizer_states(path, require_checksum=True)
+
+
 class TestPipelineWarmStart:
     def test_roundtrip_matches_calibrated_outputs(
         self, tiny_trained, calib_images, tiny_data, tmp_path

@@ -1,5 +1,8 @@
 """End-to-end tests for the serving engine and the benchmark driver."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -14,6 +17,63 @@ from repro.serve import (
 from tests.test_serve_registry import tiny_loader
 
 SPEC = "vit_s/quq/4"
+FLOAT_SPEC = "vit_s/fp32/32"
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class SteppingClock:
+    """A clock that jumps ``step`` seconds every time it is read."""
+
+    def __init__(self, step=0.1):
+        self.now = 0.0
+        self.step = step
+        self._lock = threading.Lock()
+
+    def __call__(self):
+        with self._lock:
+            self.now += self.step
+            return self.now
+
+
+class _Result:
+    def __init__(self, batch):
+        self.data = np.zeros((batch, 10), dtype=np.float32)
+
+
+class BlockingModel:
+    """A float model whose forward blocks until ``gate`` is set."""
+
+    def __init__(self, gate):
+        self.gate = gate
+
+    def eval(self):
+        pass
+
+    def __call__(self, tensor):
+        self.gate.wait(timeout=30.0)
+        return _Result(tensor.data.shape[0])
+
+
+class RaisingModel:
+    def eval(self):
+        pass
+
+    def __call__(self, tensor):
+        raise RuntimeError("model exploded mid-batch")
+
+
+def blocking_registry(gate):
+    return ModelRegistry(capacity=2, loader=lambda name: (BlockingModel(gate), 0.0))
 
 
 @pytest.fixture
@@ -90,6 +150,121 @@ class TestServeEngine:
         engine.stop()
         with pytest.raises(RuntimeError):
             engine.submit(SPEC, np.zeros((16, 16, 3), dtype=np.float32))
+
+
+class TestShutdownUnderLoad:
+    """stop() must join workers and fail pending requests — never hang."""
+
+    def test_stop_with_batch_in_flight_fails_pending_requests(self):
+        gate = threading.Event()
+        engine = ServeEngine(blocking_registry(gate), clock=FakeClock())
+        image = np.zeros((16, 16, 3), dtype=np.float32)
+        handle = engine.submit(FLOAT_SPEC, image)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:  # wait until the batch is taken
+            lanes = engine.snapshot()["lanes"]
+            if lanes and next(iter(lanes.values()))["queued"] == 0:
+                break
+            time.sleep(0.005)
+        engine.stop()  # the wedged worker cannot join: its batch must fail
+        assert handle.done()
+        with pytest.raises(RuntimeError, match="engine stopped"):
+            handle.result(timeout=0.0)
+        gate.set()  # let the abandoned daemon finish (first-wins no-op)
+
+    def test_stop_with_queued_requests_fails_them(self):
+        gate = threading.Event()
+        engine = ServeEngine(
+            blocking_registry(gate),
+            BatchPolicy(max_batch_size=1, max_wait_ms=0.0, max_queue=8),
+            clock=FakeClock(),
+        )
+        image = np.zeros((16, 16, 3), dtype=np.float32)
+        handles = [engine.submit(FLOAT_SPEC, image) for _ in range(4)]
+        engine.stop()
+        gate.set()
+        for handle in handles:
+            assert handle.done()
+            with pytest.raises((QueueFullError, RuntimeError)):
+                handle.result(timeout=5.0)
+
+    def test_stop_joins_workers_when_predict_raises(self):
+        registry = ModelRegistry(capacity=2, loader=lambda n: (RaisingModel(), 0.0))
+        engine = ServeEngine(registry, clock=FakeClock())
+        image = np.zeros((16, 16, 3), dtype=np.float32)
+        handles = [engine.submit(FLOAT_SPEC, image) for _ in range(6)]
+        for handle in handles:
+            with pytest.raises(RuntimeError, match="exploded"):
+                handle.result(timeout=30.0)
+        engine.stop()
+        # One errors_total increment per failed batch (requests coalesce).
+        assert engine.snapshot()["counters"]["errors_total"] >= 1
+        for lane_threads in (lane.threads for lane in engine._lanes.values()):
+            for thread in lane_threads:
+                assert not thread.is_alive()
+
+
+class TestDrainClock:
+    def test_drain_deadline_runs_on_injected_clock(self):
+        # A stepping clock races through the 5s drain budget in ~50 reads
+        # even though almost no real time passes — proving the deadline is
+        # measured on the injected clock, not time.monotonic().
+        gate = threading.Event()
+        engine = ServeEngine(blocking_registry(gate), clock=SteppingClock(step=0.1))
+        image = np.zeros((16, 16, 3), dtype=np.float32)
+        engine.submit(FLOAT_SPEC, image)
+        started = time.monotonic()
+        assert engine.drain(timeout=5.0, wall_cap=20.0) is False
+        assert time.monotonic() - started < 5.0  # fake 5s ≪ real 5s
+        gate.set()
+        engine.stop()
+
+    def test_drain_wall_cap_bounds_a_frozen_clock(self):
+        # A frozen clock never reaches the deadline; the real-time cap
+        # must stop the loop anyway.
+        gate = threading.Event()
+        engine = ServeEngine(blocking_registry(gate), clock=FakeClock())
+        image = np.zeros((16, 16, 3), dtype=np.float32)
+        engine.submit(FLOAT_SPEC, image)
+        started = time.monotonic()
+        assert engine.drain(timeout=60.0, wall_cap=0.3) is False
+        assert time.monotonic() - started < 5.0
+        gate.set()
+        engine.stop()
+
+    def test_drain_returns_true_once_quiet(self, registry, tiny_data):
+        _, val_set = tiny_data
+        with ServeEngine(registry) as engine:
+            handle = engine.submit(SPEC, val_set.images[0])
+            handle.result(timeout=30.0)
+            assert engine.drain(timeout=10.0) is True
+
+
+class TestSubmitMetricsAccounting:
+    def test_rejected_submissions_do_not_count_as_requests(self):
+        gate = threading.Event()
+        engine = ServeEngine(
+            blocking_registry(gate),
+            BatchPolicy(max_batch_size=1, max_wait_ms=0.0, max_queue=1),
+            clock=FakeClock(),
+        )
+        image = np.zeros((16, 16, 3), dtype=np.float32)
+        accepted, rejected = 0, 0
+        for _ in range(8):
+            try:
+                engine.submit(FLOAT_SPEC, image)
+                accepted += 1
+            except QueueFullError:
+                rejected += 1
+        counters = engine.snapshot()["counters"]
+        assert rejected > 0  # queue of 1 with a wedged worker must reject
+        assert counters["requests_total"] == accepted
+        assert counters["rejected_total"] == rejected
+        lane_key = next(iter(engine.snapshot()["lanes"]))
+        assert counters[f'rejected_total{{spec="{lane_key}"}}'] == rejected
+        assert engine.snapshot()["distributions"]["queue_depth"]
+        gate.set()
+        engine.stop()
 
 
 @pytest.mark.slow

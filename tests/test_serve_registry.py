@@ -45,6 +45,20 @@ class TestModelKey:
         key = ModelKey.parse("deit_s/biscaled/8/partial")
         assert ModelKey.parse(key.spec) == key
 
+    @pytest.mark.parametrize("bits", ["1", "6", "16"])
+    def test_bits_accepts_quantizable_range(self, bits):
+        assert ModelKey.parse(f"vit_s/quq/{bits}").bits == int(bits)
+
+    @pytest.mark.parametrize("bits", ["0", "17", "-4", "007", "+6", " 6", "6.0"])
+    def test_bits_rejects_out_of_range_and_padded(self, bits):
+        with pytest.raises(ValueError, match="bits"):
+            ModelKey.parse(f"vit_s/quq/{bits}")
+
+    def test_fp32_accepts_the_float_width(self):
+        assert ModelKey.parse("vit_s/fp32/32").bits == 32
+        with pytest.raises(ValueError, match="bits"):
+            ModelKey.parse("vit_s/fp32/33")
+
 
 class TestRegistryCache:
     def test_miss_then_hit(self, registry):
@@ -113,6 +127,107 @@ class TestWarmStart:
         servable = registry.get("vit_s/quq/4")
         assert servable.quantized
         assert registry.snapshot()["calibrations"] == 1
+
+    def test_tampered_payload_is_rejected_by_checksum(self, tmp_path, calib_images):
+        from repro.resilience import tamper_quantizer_state
+
+        def make():
+            return ModelRegistry(
+                capacity=2, artifact_dir=tmp_path, loader=tiny_loader,
+                calib_provider=lambda: calib_images[:16],
+            )
+
+        cold = make()
+        cold.get("vit_s/quq/4")
+        state = cold.state_path(ModelKey.parse("vit_s/quq/4"))
+        tamper_quantizer_state(state, seed=1)  # still a readable npz
+
+        warm = make()
+        servable = warm.get("vit_s/quq/4")  # reject + recalibrate, not serve
+        assert servable.quantized
+        snap = warm.snapshot()
+        assert snap["checksum_rejects"] == 1
+        assert snap["warm_loads"] == 0 and snap["calibrations"] == 1
+        assert state.exists()  # recalibration re-serialized a clean artifact
+
+    def test_legacy_checksumless_artifact_recalibrates(self, tmp_path, calib_images):
+        # An artifact written before checksums existed cannot prove it is
+        # uncorrupted, so the serving path must recalibrate (and thereby
+        # upgrade it) instead of trusting it.
+        import json
+
+        def make():
+            return ModelRegistry(
+                capacity=2, artifact_dir=tmp_path, loader=tiny_loader,
+                calib_provider=lambda: calib_images[:16],
+            )
+
+        cold = make()
+        cold.get("vit_s/quq/4")
+        state = cold.state_path(ModelKey.parse("vit_s/quq/4"))
+        with np.load(state, allow_pickle=False) as handle:
+            payload = {name: handle[name] for name in handle.files}
+        record = json.loads(str(payload["__meta__"][()]))
+        record.pop("checksum", None)
+        payload["__meta__"] = np.array(json.dumps(record))
+        np.savez(state, **payload)
+
+        warm = make()
+        assert warm.get("vit_s/quq/4").quantized
+        snap = warm.snapshot()
+        assert snap["checksum_rejects"] == 1
+        assert snap["warm_loads"] == 0 and snap["calibrations"] == 1
+        # The recalibration re-saved a checksummed artifact; a third
+        # registry warm-starts cleanly.
+        upgraded = make()
+        assert upgraded.get("vit_s/quq/4").quantized
+        snap = upgraded.snapshot()
+        assert snap["warm_loads"] == 1 and snap["calibrations"] == 0
+
+    def test_invalidate_drops_cached_entry(self, registry):
+        registry.get("vit_s/quq/4")
+        assert registry.invalidate("vit_s/quq/4")
+        assert "vit_s/quq/4" not in registry
+        assert not registry.invalidate("vit_s/quq/4")  # already gone
+
+
+class TestLoadRetry:
+    def test_transient_loader_failures_are_retried(self, tmp_path, calib_images):
+        from repro.resilience import RetryPolicy
+
+        calls = {"n": 0}
+
+        def flaky_loader(name):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("checkpoint mid-write")
+            return tiny_loader(name)
+
+        registry = ModelRegistry(
+            capacity=2, artifact_dir=tmp_path, loader=flaky_loader,
+            calib_provider=lambda: calib_images[:16],
+            retry=RetryPolicy(attempts=4, backoff_s=0.0, sleep=lambda s: None),
+        )
+        assert registry.get("vit_s/quq/4").quantized
+        snap = registry.snapshot()
+        assert snap["retries"] == 2 and snap["load_failures"] == 0
+
+    def test_exhausted_retries_raise_and_are_counted(self, tmp_path, calib_images):
+        from repro.resilience import RetryPolicy
+
+        def dead_loader(name):
+            raise OSError("checkpoint gone")
+
+        registry = ModelRegistry(
+            capacity=2, artifact_dir=tmp_path, loader=dead_loader,
+            calib_provider=lambda: calib_images[:16],
+            retry=RetryPolicy(attempts=3, backoff_s=0.0, sleep=lambda s: None),
+        )
+        with pytest.raises(OSError):
+            registry.get("vit_s/quq/4")
+        snap = registry.snapshot()
+        assert snap["load_failures"] == 1 and snap["retries"] == 2
+        assert len(registry) == 0  # nothing half-built was cached
 
 
 class TestGracefulDegradation:
