@@ -10,11 +10,18 @@ Environment knobs:
 * ``REPRO_BENCH_FAST=1`` — restrict accuracy tables to two models and a
   smaller validation subset (quick smoke run).
 * ``REPRO_BENCH_VAL`` — validation-subset size (default 384).
+* ``REPRO_BENCH_TIMEOUT_S`` — per-bench wall-clock ceiling (default 1800).
+
+Benches marked ``slow`` are skipped unless ``--run-slow`` (or ``-m slow``)
+is passed — the same opt-in gate as the test suite — and every bench runs
+under a SIGALRM timeout guard so a wedged run fails instead of hanging.
 """
 
 from __future__ import annotations
 
 import os
+import signal
+import threading
 from pathlib import Path
 
 import pytest
@@ -24,6 +31,62 @@ from repro.models import MINI_FOR_PAPER, get_trained_model
 from repro.models.zoo import DATASET_SPEC
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Benches legitimately run for minutes (full accuracy tables), so the
+#: ceiling is far above the test suite's; trips still mean a real hang.
+DEFAULT_BENCH_TIMEOUT_S = int(os.environ.get("REPRO_BENCH_TIMEOUT_S", "1800"))
+
+
+def pytest_addoption(parser):
+    # ``pytest tests benchmarks`` loads both conftests; tolerate the
+    # option already being registered by tests/conftest.py.
+    try:
+        parser.addoption(
+            "--run-slow", action="store_true", default=False,
+            help="run benches marked slow (skipped by default)",
+        )
+    except ValueError:
+        pass
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``slow`` benches unless opted in (``--run-slow`` or ``-m slow``)."""
+    if config.getoption("--run-slow") or "slow" in (config.option.markexpr or ""):
+        return
+    skip_slow = pytest.mark.skip(reason="slow bench: pass --run-slow (or -m slow)")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
+@pytest.fixture(autouse=True)
+def _timeout_guard(request):
+    """Fail (rather than hang) any bench that wedges — same guard as the
+    test suite, with a bench-sized default ceiling."""
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+    marker = request.node.get_closest_marker("timeout")
+    seconds = int(marker.args[0]) if marker and marker.args else DEFAULT_BENCH_TIMEOUT_S
+    if seconds <= 0:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"{request.node.nodeid} exceeded the {seconds}s timeout guard"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 #: Paper-model order of the accuracy tables' columns.
 PAPER_MODEL_ORDER = ("vit_s", "vit_l", "deit_s", "deit_b", "swin_t", "swin_s")

@@ -10,6 +10,7 @@ Commands
 ``inspect``        fit QUQ on a model's calibration tensors, print modes
 ``serve-bench``    drive synthetic traffic through the serving runtime
 ``chaos-soak``     serve under a seeded fault plan, audit the recovery
+``fault-sweep``    bit-fault injection sweep over the QUA datapath
 
 Model-dependent commands share ``--seed`` (calibration/val sampling) and
 ``--batch-size`` (inference batch size) so runs are reproducible from the
@@ -229,6 +230,45 @@ def cmd_chaos_soak(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_fault_sweep(args) -> None:
+    import json
+
+    from . import quantize_model
+    from .hw import FaultSweepConfig, format_fault_sweep, run_fault_sweep
+    from .hw.faults import HW_FAULT_SITES
+
+    seed = 0 if args.seed is None else args.seed
+    try:
+        config = FaultSweepConfig(
+            bits=args.bits,
+            bers=tuple(args.ber) if args.ber else (1e-4, 1e-3),
+            site_cases=tuple(args.sites) if args.sites else HW_FAULT_SITES + ("all",),
+            batch=args.sweep_batch,
+            seed=seed,
+            protected_match_floor=args.floor,
+            array=args.array,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro fault-sweep: error: {error}")
+    model, _, calib, val = _setup(args.model, args.images, seed=args.seed)
+    pipeline = quantize_model(
+        model, calib, method="quq", bits=args.bits, coverage="full",
+        hessian=not args.no_hessian, batch_size=args.batch_size,
+    )
+    pipeline.detach()
+    report = run_fault_sweep(model, pipeline, val.images, config, labels=val.labels)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_fault_sweep(report))
+    if not report["passed"]:
+        raise SystemExit(1)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     commands = parser.add_subparsers(dest="command", required=True)
@@ -320,6 +360,33 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the raw report as JSON")
     _add_repro_flags(soak)
     soak.set_defaults(fn=cmd_chaos_soak)
+
+    sweep = commands.add_parser(
+        "fault-sweep",
+        help="soft-error sweep: BER x site x protection on the QUA datapath",
+    )
+    sweep.add_argument("--model", default="vit_mini_s", choices=_TRAINABLE)
+    sweep.add_argument("--bits", type=int, default=8)
+    sweep.add_argument("--ber", type=float, action="append", default=None,
+                       help="bit-error rate; repeatable (default: 1e-4 1e-3)")
+    sweep.add_argument("--sites", nargs="+", default=None,
+                       choices=["qub", "register", "accumulator", "sfu", "all"],
+                       help="site cases to sweep (default: each site plus 'all')")
+    sweep.add_argument("--images", type=int, default=32,
+                       help="validation images scored per sweep cell")
+    sweep.add_argument("--sweep-batch", type=int, default=4, dest="sweep_batch",
+                       help="executor batch size (a guard trip fails one batch)")
+    sweep.add_argument("--floor", type=float, default=0.75,
+                       help="minimum protected agreement with the fault-free run")
+    sweep.add_argument("--array", type=int, default=16,
+                       help="PE array size for the protection overhead model")
+    sweep.add_argument("--no-hessian", action="store_true")
+    sweep.add_argument("--output", default=None,
+                       help="also write the JSON report to this path")
+    sweep.add_argument("--json", action="store_true",
+                       help="print the raw report as JSON")
+    _add_repro_flags(sweep)
+    sweep.set_defaults(fn=cmd_fault_sweep)
     return parser
 
 

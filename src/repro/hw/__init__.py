@@ -2,8 +2,19 @@
 
 from .accelerator import QUA, EncodedTensor, encode_tensor, gemm_cycles
 from .executor import BlockExecutor, ModelExecutor
+from .faults import (
+    ACC_PHYSICAL_BITS,
+    HW_FAULT_SITES,
+    SITE_ACCUMULATOR,
+    SITE_QUB,
+    SITE_REGISTER,
+    SITE_SFU,
+    BitFaultInjector,
+)
+from .fault_sweep import FaultSweepConfig, format_fault_sweep, run_fault_sweep
+from .protect import ProtectionConfig, ProtectionStats, majority_vote, parity_filter, popcount
 from .int_sfu import i_exp, i_gelu, i_layernorm, i_softmax, i_sqrt
-from .area_power import AcceleratorSpec, AreaPowerReport, evaluate, table4
+from .area_power import AcceleratorSpec, AreaPowerReport, evaluate, protection_overhead, table4
 from .gates import (
     ENERGY_PER_GATE_PJ,
     NAND2_AREA_UM2,
@@ -29,6 +40,22 @@ __all__ = [
     "gemm_cycles",
     "BlockExecutor",
     "ModelExecutor",
+    "ACC_PHYSICAL_BITS",
+    "HW_FAULT_SITES",
+    "SITE_ACCUMULATOR",
+    "SITE_QUB",
+    "SITE_REGISTER",
+    "SITE_SFU",
+    "BitFaultInjector",
+    "FaultSweepConfig",
+    "format_fault_sweep",
+    "run_fault_sweep",
+    "ProtectionConfig",
+    "ProtectionStats",
+    "majority_vote",
+    "parity_filter",
+    "popcount",
+    "protection_overhead",
     "i_exp",
     "i_gelu",
     "i_layernorm",

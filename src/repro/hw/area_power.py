@@ -36,7 +36,13 @@ from .gates import (
     shifter_gates,
 )
 
-__all__ = ["AcceleratorSpec", "AreaPowerReport", "evaluate", "table4"]
+__all__ = [
+    "AcceleratorSpec",
+    "AreaPowerReport",
+    "evaluate",
+    "protection_overhead",
+    "table4",
+]
 
 #: Both designs share a fixed accumulator width (standard practice: the
 #: tile size bounds accumulation length, and the headroom absorbs QUQ's
@@ -164,6 +170,86 @@ def evaluate(spec: AcceleratorSpec) -> AreaPowerReport:
         for key, count in total.items()
     )
     return AreaPowerReport(spec, area_mm2, power_mw, total)
+
+
+def protection_overhead(
+    protection, bits: int = 8, array: int = 16
+) -> dict:
+    """Area/power cost of the soft-error hardening schemes (modeled).
+
+    ``protection`` is a :class:`repro.hw.protect.ProtectionConfig` (any
+    object with ``parity`` / ``tmr`` / ``range_guard`` booleans works).
+    The inventory prices the incremental hardware over the plain QUQ
+    design point, per scheme:
+
+    * **parity** — one stored parity bit plus a ``bits``-wide XOR check
+      tree per DU word lane (both operand edges and the SFU load port);
+    * **tmr** — two extra copies of the 16-bit FC register file per
+      operand edge plus the bit-wise majority voter;
+    * **range_guard** — a shadow magnitude adder + accumulator register
+      per PE and a magnitude comparator per QU column.
+
+    Returns the per-scheme NAND2-equivalent gate counts, the absolute
+    area/power cost, and the relative overhead against the unprotected
+    QUQ accelerator of the same geometry.
+    """
+    _XOR_NAND2 = 3.0  # one XOR2 in NAND2 equivalents
+    _MAJ_NAND2 = 4.0  # one bit of 2-of-3 majority voting
+
+    schemes: dict[str, dict[str, float]] = {}
+    if getattr(protection, "parity", False):
+        lanes = 3 * array  # two DU edges + the SFU load port
+        check_tree = bits * _XOR_NAND2  # parity over word + stored bit
+        schemes["parity"] = {
+            "register": lanes * register_gates(1),
+            "decode": lanes * check_tree,
+        }
+    if getattr(protection, "tmr", False):
+        ports = 2  # activation-edge and weight-edge register fetch
+        schemes["tmr"] = {
+            "static_register": ports * 2 * register_gates(16),
+            "control": ports * 16 * _MAJ_NAND2,
+        }
+    if getattr(protection, "range_guard", False):
+        schemes["range_guard"] = {
+            "adder": array**2 * adder_gates(_ACC_WIDTH),
+            "register": array**2 * register_gates(_ACC_WIDTH),
+            "quantize": array * adder_gates(_ACC_WIDTH),  # envelope compare
+        }
+
+    def _cost(inventory: dict[str, float]) -> tuple[float, float]:
+        gates = sum(inventory.values())
+        area = gates * NAND2_AREA_UM2 / 1e6
+        power = sum(
+            count * _ACTIVITY[key] * ENERGY_PER_GATE_PJ * _CLOCK_HZ / 1e9
+            for key, count in inventory.items()
+        )
+        return area, power
+
+    base = evaluate(AcceleratorSpec("quq", bits, array))
+    per_scheme = {}
+    area_total = 0.0
+    power_total = 0.0
+    for name, inventory in schemes.items():
+        area, power = _cost(inventory)
+        per_scheme[name] = {
+            "gates": sum(inventory.values()),
+            "area_mm2": area,
+            "power_mw": power,
+        }
+        area_total += area
+        power_total += power
+    return {
+        "bits": bits,
+        "array": array,
+        "schemes": per_scheme,
+        "area_mm2": area_total,
+        "power_mw": power_total,
+        "base_area_mm2": base.area_mm2,
+        "base_power_mw": base.power_mw,
+        "area_overhead_pct": 100.0 * area_total / base.area_mm2,
+        "power_overhead_pct": 100.0 * power_total / base.power_mw,
+    }
 
 
 def table4(

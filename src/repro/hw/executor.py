@@ -24,7 +24,9 @@ from ..quant.params import QUQParams
 from ..quant.qmodel import PTQPipeline
 from ..quant.quq import QUQQuantizer
 from .accelerator import QUA, EncodedTensor, encode_tensor
+from .faults import BitFaultInjector
 from .int_sfu import i_gelu, i_layernorm, i_softmax
+from .protect import ProtectionConfig, ProtectionStats
 
 __all__ = ["BlockExecutor", "ModelExecutor"]
 
@@ -44,6 +46,11 @@ class BlockExecutor:
     integer_sfu:
         Use the integer-only softmax/GELU/LayerNorm kernels instead of
         float special functions over decoded integers.
+    faults / protection / stats:
+        Optional soft-error injection (see :class:`BitFaultInjector`) and
+        hardening config; ``stats`` is the shared fault-outcome ledger.
+        With ``faults=None`` the executor is bit-exact with the fault-free
+        model.
     """
 
     def __init__(
@@ -53,6 +60,9 @@ class BlockExecutor:
         prefix: str,
         bits: int = 8,
         integer_sfu: bool = False,
+        faults: BitFaultInjector | None = None,
+        protection: ProtectionConfig | None = None,
+        stats: ProtectionStats | None = None,
     ):
         if not pipeline.calibrated:
             raise RuntimeError("pipeline must be calibrated first")
@@ -63,7 +73,7 @@ class BlockExecutor:
         self.prefix = prefix.rstrip(".")
         self.bits = bits
         self.integer_sfu = integer_sfu
-        self.qua = QUA()
+        self.qua = QUA(faults=faults, protection=protection, stats=stats)
 
     # ------------------------------------------------------------------
     def _params(self, tap: str) -> QUQParams:
@@ -72,8 +82,18 @@ class BlockExecutor:
             raise TypeError(f"tap {tap} is not QUQ-quantized")
         return quantizer.params
 
+    def _site(self, tap: str) -> str:
+        return f"{self.prefix}.{tap}"
+
     def _encode(self, values: np.ndarray, tap: str) -> EncodedTensor:
+        # Poisoned floats (a corrupted SFU load upstream) must trip the
+        # guard here, not be laundered into in-range QUB codes.
+        values = self.qua.check_values(values, site=self._site(tap))
         return encode_tensor(values, self.bits, params=self._params(tap))
+
+    def _load(self, encoded: EncodedTensor, tap: str) -> np.ndarray:
+        """Store-then-reload a tensor through the (faultable) SFU path."""
+        return self.qua.sfu_load(encoded, site=self._site(tap))
 
     # ------------------------------------------------------------------
     def _layernorm(self, values: np.ndarray, weight, bias) -> np.ndarray:
@@ -113,7 +133,7 @@ class BlockExecutor:
         ew = encode_tensor(
             layer.weight.data, self.bits, params=self._params_weight(tap_in)
         )
-        out = self.qua.gemm(ex, ew)
+        out = self.qua.gemm(ex, ew, site=self._site(tap_in))
         if layer.bias is not None:
             out = out + layer.bias.data
         return out.reshape(*shape[:-1], -1)
@@ -131,7 +151,7 @@ class BlockExecutor:
         heads, head_dim = attn.num_heads, attn.head_dim
 
         # Residual stream enters the block quantized (stored as QUBs).
-        x = self._encode(x, "block_input").to_float()
+        x = self._load(self._encode(x, "block_input"), "block_input")
 
         # --- attention branch ---
         normed = self._layernorm(x, block.norm1.weight.data, block.norm1.bias.data)
@@ -141,28 +161,31 @@ class BlockExecutor:
 
         eq = self._encode(q, "attn.q")
         ek = self._encode(k, "attn.k")
-        scores_acc = self.qua.integer_gemm(eq, ek.transposed())
+        scores_acc = self.qua.integer_gemm(
+            eq, ek.transposed(), site=self._site("attn.scores")
+        )
         scores = scores_acc * (eq.base_delta * ek.base_delta) * attn.scale
-        scores = self._encode(scores, "attn.scores").to_float()
+        scores = self._load(self._encode(scores, "attn.scores"), "attn.scores")
 
         probs = self._softmax(scores)
         ep = self._encode(probs, "attn.probs")
         ev = self._encode(v, "attn.v")
-        ctx = self.qua.integer_gemm(ep, ev) * (ep.base_delta * ev.base_delta)
+        ctx_acc = self.qua.integer_gemm(ep, ev, site=self._site("attn.context"))
+        ctx = ctx_acc * (ep.base_delta * ev.base_delta)
         ctx = ctx.transpose(0, 2, 1, 3).reshape(b, n, c)
 
         attn_out = self._linear(ctx, "attn.proj.input", attn.proj)
-        attn_out = self._encode(attn_out, "attn_residual").to_float()
+        attn_out = self._load(self._encode(attn_out, "attn_residual"), "attn_residual")
         x = x + attn_out
 
         # --- MLP branch ---
-        x = self._encode(x, "mid_input").to_float()
+        x = self._load(self._encode(x, "mid_input"), "mid_input")
         normed = self._layernorm(x, block.norm2.weight.data, block.norm2.bias.data)
         hidden = self._linear(normed, "mlp.fc1.input", block.mlp.fc1)
-        hidden = self._encode(hidden, "mlp.act.input").to_float()
+        hidden = self._load(self._encode(hidden, "mlp.act.input"), "mlp.act.input")
         hidden = self._gelu(hidden)
         mlp_out = self._linear(hidden, "mlp.fc2.input", block.mlp.fc2)
-        mlp_out = self._encode(mlp_out, "mlp_residual").to_float()
+        mlp_out = self._load(self._encode(mlp_out, "mlp_residual"), "mlp_residual")
         return x + mlp_out
 
 
@@ -182,6 +205,9 @@ class ModelExecutor:
         pipeline: PTQPipeline,
         bits: int = 8,
         integer_sfu: bool = False,
+        faults: BitFaultInjector | None = None,
+        protection: ProtectionConfig | None = None,
+        stats: ProtectionStats | None = None,
     ):
         if not pipeline.calibrated:
             raise RuntimeError("pipeline must be calibrated first")
@@ -190,10 +216,22 @@ class ModelExecutor:
         self.model = model
         self.pipeline = pipeline
         self.bits = bits
-        self.qua = QUA()
+        self.faults = faults
+        # One shared ledger across the top-level QUA and every block's.
+        self.stats = stats if stats is not None else ProtectionStats()
+        self.qua = QUA(faults=faults, protection=protection, stats=self.stats)
         prefix = model.config.name
         self.blocks = [
-            BlockExecutor(block, pipeline, f"{prefix}.blocks.{i}", bits, integer_sfu)
+            BlockExecutor(
+                block,
+                pipeline,
+                f"{prefix}.blocks.{i}",
+                bits,
+                integer_sfu,
+                faults=faults,
+                protection=protection,
+                stats=self.stats,
+            )
             for i, block in enumerate(model.blocks)
         ]
         self._prefix = prefix
@@ -205,10 +243,12 @@ class ModelExecutor:
     def _linear(self, values: np.ndarray, tap_in: str, layer) -> np.ndarray:
         shape = values.shape
         flat = values.reshape(-1, shape[-1])
+        site = f"{self._prefix}.{tap_in}"
+        flat = self.qua.check_values(flat, site=site)
         ex = encode_tensor(flat, self.bits, params=self._params(tap_in))
         weight_tap = tap_in.rsplit(".", 1)[0] + ".weight"
         ew = encode_tensor(layer.weight.data, self.bits, params=self._params(weight_tap))
-        out = self.qua.gemm(ex, ew)
+        out = self.qua.gemm(ex, ew, site=site)
         if layer.bias is not None:
             out = out + layer.bias.data
         return out.reshape(*shape[:-1], -1)
@@ -239,9 +279,13 @@ class ModelExecutor:
             tokens = executor.run(tokens)
 
         # Final norm input is a stored (quantized) tensor.
-        tokens = encode_tensor(
-            tokens, self.bits, params=self._params("final_norm_input")
-        ).to_float()
+        tokens = self.qua.check_values(
+            tokens, site=f"{self._prefix}.final_norm_input"
+        )
+        tokens = self.qua.sfu_load(
+            encode_tensor(tokens, self.bits, params=self._params("final_norm_input")),
+            site=f"{self._prefix}.final_norm_input",
+        )
         mean = tokens.mean(axis=-1, keepdims=True)
         var = tokens.var(axis=-1, keepdims=True)
         normed = (tokens - mean) / np.sqrt(var + 1e-6)

@@ -1,0 +1,147 @@
+"""Soft-error protection for the QUA datapath, evaluated against the injector.
+
+Three schemes, one per storage site class of
+:mod:`repro.hw.faults`, each with the classical hardware analogue:
+
+* **Per-word parity on QUB codes** — one parity bit per stored code word,
+  checked at the decoding-unit fetch.  A mismatch triggers a refetch from
+  the (ECC-protected) backing store, modeled as restoring the clean word.
+  Parity detects every odd-weight corruption; even-weight corruptions
+  (two flips in one word) pass the check and stay *silent*.
+* **Triple-modular redundancy on FC registers** — the two packed register
+  bytes are stored three times and majority-voted bit-wise on every
+  fetch.  A fault confined to one copy is always out-voted; only the same
+  bit flipping in two copies survives the vote (counted as silent).
+* **Accumulator range guard** — the PE array carries a shadow magnitude
+  accumulation ``|Dx << nx| @ |Dw << nw|``, an exact envelope on every
+  fault-free accumulator value.  A faulty accumulator exceeding its
+  envelope is flagged and the tile recomputed (restored); flips that keep
+  the value inside the envelope are silent but small.
+
+The behavioral model always has the fault-free ("golden") value next to
+the faulty one, so every outcome is classified exactly into
+detected/corrected vs silent — that accounting is what the fault-sweep
+report audits.  All functions are pure over (golden, faulty) pairs; the
+:class:`ProtectionStats` ledger is updated by the caller-facing helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "ProtectionConfig",
+    "ProtectionStats",
+    "popcount",
+    "parity_filter",
+    "majority_vote",
+]
+
+
+@dataclass(frozen=True)
+class ProtectionConfig:
+    """Which protection schemes are armed."""
+
+    parity: bool = True
+    tmr: bool = True
+    range_guard: bool = True
+
+    def snapshot(self) -> dict:
+        return {"parity": self.parity, "tmr": self.tmr, "range_guard": self.range_guard}
+
+
+@dataclass
+class ProtectionStats:
+    """Fault-outcome ledger, shared across every QUA of one executor.
+
+    ``detected`` outcomes were caught and repaired (parity refetch, TMR
+    out-vote, register machine-check reload, envelope recompute);
+    ``silent`` outcomes reached the datapath corrupted.
+    """
+
+    qub_faulted_words: int = 0
+    qub_detected: int = 0
+    qub_silent: int = 0
+    sfu_faulted_words: int = 0
+    sfu_detected: int = 0
+    sfu_silent: int = 0
+    register_faulted_copies: int = 0
+    register_corrected: int = 0  # TMR out-voted a faulty copy
+    register_detected: int = 0  # strict unpack rejected the loaded bytes
+    register_silent: int = 0  # corrupted registers reached the decoder
+    acc_faulted_words: int = 0
+    acc_detected: int = 0  # envelope violations, tile recomputed
+    acc_silent: int = 0
+    guard_trips: int = 0  # numeric-guard rejections in the QU
+
+    def silent_total(self) -> int:
+        return self.qub_silent + self.sfu_silent + self.register_silent + self.acc_silent
+
+    def snapshot(self) -> dict:
+        return {
+            "qub": {
+                "faulted_words": self.qub_faulted_words,
+                "detected": self.qub_detected,
+                "silent": self.qub_silent,
+            },
+            "sfu": {
+                "faulted_words": self.sfu_faulted_words,
+                "detected": self.sfu_detected,
+                "silent": self.sfu_silent,
+            },
+            "register": {
+                "faulted_copies": self.register_faulted_copies,
+                "corrected": self.register_corrected,
+                "detected": self.register_detected,
+                "silent": self.register_silent,
+            },
+            "accumulator": {
+                "faulted_words": self.acc_faulted_words,
+                "detected": self.acc_detected,
+                "silent": self.acc_silent,
+            },
+            "guard_trips": self.guard_trips,
+            "silent_total": self.silent_total(),
+        }
+
+
+def popcount(words: np.ndarray, bits: int) -> np.ndarray:
+    """Per-word set-bit count for word widths up to 64."""
+    counts = np.zeros(words.shape, dtype=np.int64)
+    w = words.astype(np.int64)
+    for shift in range(bits):
+        counts += (w >> shift) & 1
+    return counts
+
+
+def parity_filter(
+    golden: np.ndarray, faulty: np.ndarray, bits: int, parity: bool
+) -> tuple[np.ndarray, int, int, int]:
+    """Apply the parity detect-and-refetch model to one fetched array.
+
+    Returns ``(words_to_decode, faulted, detected, silent)``.  With
+    ``parity`` off the faulty words pass straight through (all faults
+    silent); with it on, odd-weight corruptions refetch the golden word.
+    """
+    if faulty is golden:
+        return golden, 0, 0, 0
+    diff = np.bitwise_xor(golden, faulty)
+    changed = diff != 0
+    faulted = int(changed.sum())
+    if faulted == 0:
+        return golden, 0, 0, 0
+    if not parity:
+        return faulty, faulted, 0, faulted
+    odd = (popcount(diff, bits) & 1) == 1
+    detected = int(odd.sum())
+    out = np.where(odd, golden, faulty).astype(golden.dtype)
+    return out, faulted, detected, faulted - detected
+
+
+def majority_vote(copies: list[np.ndarray]) -> np.ndarray:
+    """Bit-wise majority of three redundant copies (TMR voter)."""
+    a, b, c = (copy.astype(np.int64) for copy in copies)
+    voted = (a & b) | (a & c) | (b & c)
+    return voted.astype(copies[0].dtype)

@@ -62,25 +62,42 @@ class SpaceRegister:
                 raise ValueError(
                     f"shift {shift} does not fit the 3-bit register field"
                 )
+        if self.both_sides and self.negative_reserved:
+            raise ValueError(
+                "inconsistent register: a both-sides space cannot also "
+                "reserve the negative side"
+            )
 
     def pack(self) -> int:
         """Pack into the 8-bit register byte."""
         return (
             (int(self.both_sides) << 7)
-            | (int(self.negative_reserved and not self.both_sides) << 6)
+            | (int(self.negative_reserved) << 6)
             | (self.shift_neg << 3)
             | self.shift_pos
         )
 
     @staticmethod
     def unpack(byte: int) -> "SpaceRegister":
+        """Strictly decode a register byte; garbage raises ``ValueError``.
+
+        A byte with both the both-sides flag (bit 7) and the
+        negative-reserved flag (bit 6) set encodes a layout no
+        :meth:`pack` can produce — register corruption, not a register —
+        so it is rejected rather than silently reinterpreted.
+        """
         if not 0 <= byte <= 0xFF:
             raise ValueError(f"register byte out of range: {byte}")
         both = bool(byte >> 7 & 1)
+        reserved = bool(byte >> 6 & 1)
+        if both and reserved:
+            raise ValueError(
+                f"inconsistent register byte 0x{byte:02x}: both-sides and "
+                "negative-reserved flags are mutually exclusive"
+            )
         return SpaceRegister(
             both_sides=both,
-            # Bit 6 is only meaningful when the space holds a single side.
-            negative_reserved=bool(byte >> 6 & 1) and not both,
+            negative_reserved=reserved,
             shift_neg=byte >> 3 & 0b111,
             shift_pos=byte & 0b111,
         )
@@ -92,6 +109,21 @@ class FCRegisters:
 
     fine: SpaceRegister
     coarse: SpaceRegister
+
+    def pack(self) -> tuple[int, int]:
+        """The two register bytes as stored in hardware (fine, coarse)."""
+        return self.fine.pack(), self.coarse.pack()
+
+    @staticmethod
+    def unpack(fine_byte: int, coarse_byte: int) -> "FCRegisters":
+        """Strictly decode the register pair; either byte being
+        out-of-range or internally inconsistent raises ``ValueError``
+        (see :meth:`SpaceRegister.unpack`) instead of constructing a
+        garbage layout."""
+        return FCRegisters(
+            fine=SpaceRegister.unpack(fine_byte),
+            coarse=SpaceRegister.unpack(coarse_byte),
+        )
 
     @staticmethod
     def from_params(params: QUQParams) -> "FCRegisters":

@@ -27,9 +27,12 @@ from dataclasses import dataclass
 
 from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from .faults import (
+    ALL_FAULT_KINDS,
     BATCH_EXCEPTION,
+    BIT_FLIP,
     CORRUPT_STATE,
     FAULT_KINDS,
+    HW_FAULT_KINDS,
     LOAD_ERROR,
     NUMERIC,
     QUEUE_SPIKE,
@@ -44,9 +47,12 @@ from .retry import RetryPolicy
 from .watchdog import WorkerWatchdog
 
 __all__ = [
+    "ALL_FAULT_KINDS",
     "BATCH_EXCEPTION",
+    "BIT_FLIP",
     "CORRUPT_STATE",
     "FAULT_KINDS",
+    "HW_FAULT_KINDS",
     "LOAD_ERROR",
     "NUMERIC",
     "QUEUE_SPIKE",

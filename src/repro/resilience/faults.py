@@ -41,7 +41,10 @@ __all__ = [
     "NUMERIC",
     "STALL",
     "QUEUE_SPIKE",
+    "BIT_FLIP",
     "FAULT_KINDS",
+    "HW_FAULT_KINDS",
+    "ALL_FAULT_KINDS",
     "FaultInjected",
     "FaultSpec",
     "FaultPlan",
@@ -56,6 +59,14 @@ STALL = "stall"
 QUEUE_SPIKE = "queue_spike"
 
 FAULT_KINDS = (LOAD_ERROR, CORRUPT_STATE, BATCH_EXCEPTION, NUMERIC, STALL, QUEUE_SPIKE)
+
+#: Hardware (datapath) fault kinds live in their own registry so the
+#: serving-layer chaos soak's default plan (``kinds=FAULT_KINDS``) is
+#: unchanged, while a :class:`FaultSpec` of kind ``bit_flip`` can share a
+#: plan with serving faults (``repro.hw.faults`` consumes these windows).
+BIT_FLIP = "bit_flip"
+HW_FAULT_KINDS = (BIT_FLIP,)
+ALL_FAULT_KINDS = FAULT_KINDS + HW_FAULT_KINDS
 
 #: Numeric pollution modes: scattered NaNs, +-Inf extremes, or finite
 #: values far beyond any plausible logit magnitude (saturation/overflow).
@@ -89,8 +100,10 @@ class FaultSpec:
     spike: int = 32  # extra submissions injected on a queue_spike event
 
     def __post_init__(self):
-        if self.kind not in FAULT_KINDS:
-            raise ValueError(f"unknown fault kind {self.kind!r}; choices: {FAULT_KINDS}")
+        if self.kind not in ALL_FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choices: {ALL_FAULT_KINDS}"
+            )
         if self.start < 0 or self.count < 1:
             raise ValueError("start must be >= 0 and count >= 1")
         if self.mode not in NUMERIC_MODES:
@@ -111,7 +124,7 @@ class FaultPlan:
         self.seed = seed
         self._lock = threading.Lock()
         self._events: dict[tuple[str, str], int] = {}
-        self._injected: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self._injected: dict[str, int] = {kind: 0 for kind in ALL_FAULT_KINDS}
         self._stall_gate = threading.Event()
 
     @classmethod
@@ -171,6 +184,15 @@ class FaultPlan:
         spec matches — that is what makes schedules reproducible.
         """
         return self._fire(kind, site)[0]
+
+    def advance(self, kind: str, site: str = "") -> tuple[FaultSpec | None, int]:
+        """Like :meth:`fire`, but also return the event index consumed.
+
+        Event-indexed injectors (the hardware bit-fault injector) key
+        their per-event RNG streams on this index so the same plan + seed
+        reproduces the same faulty bits.
+        """
+        return self._fire(kind, site)
 
     def raise_if(self, kind: str, site: str = "") -> None:
         """Consume one event and raise :class:`FaultInjected` if it fires."""

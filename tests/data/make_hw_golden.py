@@ -1,0 +1,74 @@
+"""Regenerate ``hw_golden.npz``, the QUA datapath golden-output fixture.
+
+Run from the repo root with the *current* (trusted) implementation::
+
+    PYTHONPATH=src python tests/data/make_hw_golden.py
+
+``tests/test_hw_faults.py::TestGoldenRegression`` replays the same inputs
+through the live code and asserts bit-exact agreement, so any refactor of
+the encode/decode/GEMM/requantize path that changes behaviour with fault
+injection *disabled* is caught.  The fixture stores only integer arrays
+and float64 values produced by exact arithmetic, so it is stable across
+platforms.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.hw import QUA, encode_tensor
+from repro.quant import progressive_relaxation
+
+
+def build() -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(20240805)
+    x = rng.standard_t(df=3, size=(16, 32)) * 0.3
+    w = rng.normal(size=(32, 24)) * 0.05
+    arrays: dict[str, np.ndarray] = {"x": x, "w": w}
+    for bits in (6, 8):
+        ex = encode_tensor(x, bits)
+        ew = encode_tensor(w, bits)
+        qua = QUA()
+        acc = qua.integer_gemm(ex, ew)
+        out_values = acc.astype(np.float64) * ex.base_delta * ew.base_delta
+        out_params = progressive_relaxation(out_values, bits)
+        qt = qua.requantize(acc, ex.base_delta * ew.base_delta, out_params)
+        eo = qua.gemm_requantized(ex, ew, out_params)
+        tag = f"b{bits}"
+        arrays.update(
+            {
+                f"{tag}:x_qubs": ex.qubs,
+                f"{tag}:x_regs": np.array(
+                    [ex.registers.fine.pack(), ex.registers.coarse.pack()],
+                    dtype=np.uint8,
+                ),
+                f"{tag}:x_base": np.float64(ex.base_delta),
+                f"{tag}:w_qubs": ew.qubs,
+                f"{tag}:w_regs": np.array(
+                    [ew.registers.fine.pack(), ew.registers.coarse.pack()],
+                    dtype=np.uint8,
+                ),
+                f"{tag}:w_base": np.float64(ew.base_delta),
+                f"{tag}:acc": acc,
+                f"{tag}:gemm": qua.gemm(ex, ew),
+                f"{tag}:x_float": ex.to_float(),
+                f"{tag}:rq_codes": qt.codes,
+                f"{tag}:rq_subranges": qt.subranges,
+                f"{tag}:out_qubs": eo.qubs,
+                f"{tag}:out_regs": np.array(
+                    [eo.registers.fine.pack(), eo.registers.coarse.pack()],
+                    dtype=np.uint8,
+                ),
+                f"{tag}:out_base": np.float64(eo.base_delta),
+                f"{tag}:softmax": qua.sfu(ex, "softmax"),
+            }
+        )
+    return arrays
+
+
+if __name__ == "__main__":
+    target = Path(__file__).parent / "hw_golden.npz"
+    np.savez_compressed(target, **build())
+    print(f"wrote {target}")

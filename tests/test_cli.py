@@ -32,9 +32,10 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for command in ("zoo", "quantize", "export", "table4", "memory",
-                        "inspect", "serve-bench", "chaos-soak"):
+                        "inspect", "serve-bench", "chaos-soak", "fault-sweep"):
             # Should parse without SystemExit for arg-free commands…
-            if command in ("zoo", "table4", "memory", "serve-bench", "chaos-soak"):
+            if command in ("zoo", "table4", "memory", "serve-bench",
+                           "chaos-soak", "fault-sweep"):
                 args = parser.parse_args([command])
                 assert callable(args.fn)
 
@@ -79,6 +80,30 @@ class TestParser:
         assert args.model == "deit_s" and args.requests == 64
         assert args.rate == 80.0 and args.floor == 0.8 and args.seed == 9
         assert args.output == "report.json" and args.json
+
+    def test_fault_sweep_defaults(self):
+        args = build_parser().parse_args(["fault-sweep"])
+        assert args.model == "vit_mini_s" and args.bits == 8
+        assert args.ber is None and args.sites is None
+        assert args.images == 32 and args.sweep_batch == 4
+        assert args.floor == 0.75 and args.array == 16
+        assert args.output is None and not args.json
+        assert callable(args.fn)
+
+    def test_fault_sweep_flags(self):
+        args = build_parser().parse_args([
+            "fault-sweep", "--ber", "1e-3", "--ber", "1e-2",
+            "--sites", "qub", "all", "--images", "8", "--floor", "0.9",
+            "--no-hessian", "--seed", "4", "--json",
+        ])
+        assert args.ber == [1e-3, 1e-2]
+        assert args.sites == ["qub", "all"]
+        assert args.images == 8 and args.floor == 0.9
+        assert args.no_hessian and args.seed == 4 and args.json
+
+    def test_fault_sweep_rejects_bad_site(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fault-sweep", "--sites", "dram"])
 
     def test_serve_bench_policy_flags(self):
         args = build_parser().parse_args([

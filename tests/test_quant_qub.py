@@ -9,11 +9,16 @@ from scipy.special import erf
 from repro.quant import (
     FCRegisters,
     MAX_SHIFT,
+    QUQParams,
     QUQQuantizer,
+    SUBRANGE_IDS,
     SpaceRegister,
+    Subrange,
+    SubrangeSpec,
     decode,
     encode,
     legalize_for_hardware,
+    quantize_with_params,
 )
 
 
@@ -21,9 +26,16 @@ class TestSpaceRegister:
     @given(st.integers(0, 255))
     @settings(max_examples=100, deadline=None)
     def test_pack_unpack_roundtrip(self, byte):
+        # Bytes with both the both-sides and negative-reserved flags set
+        # encode a layout pack() can never produce: strict unpack rejects
+        # them.  Every other byte round-trips exactly.
+        if byte >> 7 & 1 and byte >> 6 & 1:
+            with pytest.raises(ValueError, match="inconsistent register byte"):
+                SpaceRegister.unpack(byte)
+            return
         reg = SpaceRegister.unpack(byte)
-        repacked = SpaceRegister.unpack(reg.pack())
-        assert reg == repacked
+        assert reg.pack() == byte
+        assert SpaceRegister.unpack(reg.pack()) == reg
 
     def test_bit_layout(self):
         reg = SpaceRegister(both_sides=True, negative_reserved=False, shift_neg=5, shift_pos=2)
@@ -32,9 +44,9 @@ class TestSpaceRegister:
         assert (byte >> 3) & 0b111 == 5
         assert byte & 0b111 == 2
 
-    def test_negative_reserved_suppressed_when_both_sides(self):
-        reg = SpaceRegister(both_sides=True, negative_reserved=True, shift_neg=0, shift_pos=0)
-        assert (reg.pack() >> 6) & 1 == 0
+    def test_both_sides_with_negative_reserved_rejected(self):
+        with pytest.raises(ValueError, match="inconsistent register"):
+            SpaceRegister(both_sides=True, negative_reserved=True, shift_neg=0, shift_pos=0)
 
     def test_shift_field_width_enforced(self):
         with pytest.raises(ValueError):
@@ -43,6 +55,26 @@ class TestSpaceRegister:
     def test_unpack_range_check(self):
         with pytest.raises(ValueError):
             SpaceRegister.unpack(256)
+        with pytest.raises(ValueError):
+            SpaceRegister.unpack(-1)
+
+
+class TestFCRegistersPackUnpack:
+    def test_roundtrip(self, rng):
+        q = QUQQuantizer(6).fit(rng.standard_t(df=3, size=2000))
+        regs = FCRegisters.from_params(legalize_for_hardware(q.params))
+        fine_byte, coarse_byte = regs.pack()
+        assert FCRegisters.unpack(fine_byte, coarse_byte) == regs
+
+    def test_unpack_rejects_inconsistent_byte(self):
+        with pytest.raises(ValueError, match="inconsistent register byte"):
+            FCRegisters.unpack(0b1100_0000, 0)
+        with pytest.raises(ValueError, match="inconsistent register byte"):
+            FCRegisters.unpack(0, 0b1100_0000)
+
+    def test_unpack_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            FCRegisters.unpack(300, 0)
 
 
 def _roundtrip_case(x, bits):
@@ -93,6 +125,82 @@ class TestRoundTrip:
         x = rng.standard_t(df=3, size=1000) * rng.uniform(1e-3, 100)
         qt, _, _, _, recon = _roundtrip_case(x, bits)
         np.testing.assert_allclose(recon, qt.dequantize(), rtol=1e-6, atol=1e-9)
+
+
+def _random_legal_params(rng, bits: int, pattern: str) -> QUQParams:
+    """Randomized QUQParams covering every mode's level layout.
+
+    Deltas are ``base * 2^k`` with ``k`` possibly beyond ``MAX_SHIFT`` so
+    the caller's ``legalize_for_hardware`` pass is exercised too.
+    """
+    quarter = 2 ** (bits - 2)
+    half = 2 ** (bits - 1)
+    base = float(2.0 ** int(rng.integers(-12, 3)))
+
+    def spec(levels: int) -> SubrangeSpec:
+        return SubrangeSpec(base * 2.0 ** int(rng.integers(0, 10)), levels)
+
+    layouts = {
+        # Mode A: all four subranges.
+        "A": dict(f_neg=spec(quarter), f_pos=spec(quarter),
+                  c_neg=spec(quarter), c_pos=spec(quarter)),
+        # Mode B: one-sided data — the decode branch for the other sign
+        # is empty (positive case) or the zero code is clamped (negative).
+        "B+": dict(f_neg=None, f_pos=spec(half), c_neg=None, c_pos=spec(half)),
+        "B-": dict(f_neg=spec(half), f_pos=None, c_neg=spec(half), c_pos=None),
+        # Mode C: one coarse side merged away, its space one-sided.
+        "C+": dict(f_neg=spec(quarter), f_pos=spec(quarter),
+                   c_neg=None, c_pos=spec(half)),
+        "C-": dict(f_neg=spec(quarter), f_pos=spec(quarter),
+                   c_neg=spec(half), c_pos=None),
+        # Mode D: a single subrange per space, on opposite sides.
+        "D+": dict(f_neg=None, f_pos=spec(half), c_neg=spec(half), c_pos=None),
+        "D-": dict(f_neg=spec(half), f_pos=None, c_neg=None, c_pos=spec(half)),
+    }
+    return QUQParams(bits, **layouts[pattern])
+
+
+class TestEncodeDecodeProperty:
+    """Satellite: encode -> decode is bit-exact for *any* legal registers,
+    not just the layouts the fitting pipeline happens to produce."""
+
+    @given(
+        st.integers(0, 400),
+        st.sampled_from([4, 6, 8]),
+        st.sampled_from(["A", "B+", "B-", "C+", "C-", "D+", "D-"]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bit_exact_roundtrip(self, seed, bits, pattern):
+        rng = np.random.default_rng([seed, bits])
+        params = legalize_for_hardware(_random_legal_params(rng, bits, pattern))
+        for subrange, _ in params.active():
+            assert params.shift(subrange) <= MAX_SHIFT
+        # Sampling representable points makes the expected integers exact.
+        x = rng.choice(params.quantization_points(), size=256)
+        qt = quantize_with_params(x, params)
+        qubs, registers = encode(qt)
+        d, n_sh = decode(qubs, registers, bits)
+
+        shifts = np.zeros(x.shape, dtype=np.int64)
+        for subrange, _ in params.active():
+            mask = qt.subranges == SUBRANGE_IDS[subrange]
+            shifts[mask] = params.shift(subrange)
+        expected = qt.codes.astype(np.int64) << shifts
+        got = d.astype(np.int64) << n_sh
+
+        # The documented deviation: a one-sided negative space cannot
+        # encode zero, so those codes clamp to -1 (one step below).
+        clamped = np.zeros(x.shape, dtype=bool)
+        fine = (qt.subranges == SUBRANGE_IDS[Subrange.F_NEG]) | (
+            qt.subranges == SUBRANGE_IDS[Subrange.F_POS]
+        )
+        for mask, register in ((fine, registers.fine), (~fine, registers.coarse)):
+            if register.negative_reserved:
+                clamped |= mask & (qt.codes == 0)
+        assert np.array_equal(got[~clamped], expected[~clamped])
+        assert np.array_equal(
+            got[clamped], -(np.int64(1) << n_sh[clamped])
+        )  # d == -1 at the register's negative shift
 
 
 class TestDecodedOperandWidth:
