@@ -15,6 +15,14 @@ from .attention_maps import (
 )
 from .reporting import format_float, format_table
 from .sensitivity import kind_sensitivity, tap_sensitivity
+from .corruption import (
+    CorruptionSweepConfig,
+    RecoveryCurveConfig,
+    format_corruption_sweep,
+    format_recovery_report,
+    run_corruption_sweep,
+    run_recovery_curve,
+)
 
 __all__ = [
     "FIGURE3_TENSORS",
@@ -30,4 +38,10 @@ __all__ = [
     "format_float",
     "kind_sensitivity",
     "tap_sensitivity",
+    "CorruptionSweepConfig",
+    "run_corruption_sweep",
+    "format_corruption_sweep",
+    "RecoveryCurveConfig",
+    "run_recovery_curve",
+    "format_recovery_report",
 ]

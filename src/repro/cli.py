@@ -11,6 +11,7 @@ Commands
 ``serve-bench``    drive synthetic traffic through the serving runtime
 ``chaos-soak``     serve under a seeded fault plan, audit the recovery
 ``fault-sweep``    bit-fault injection sweep over the QUA datapath
+``corruption-sweep``  SynthShapes-C robustness grid + drift recovery curve
 
 Model-dependent commands share ``--seed`` (calibration/val sampling) and
 ``--batch-size`` (inference batch size) so runs are reproducible from the
@@ -269,6 +270,64 @@ def cmd_fault_sweep(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_corruption_sweep(args) -> None:
+    import json
+
+    from .analysis import (
+        CorruptionSweepConfig,
+        RecoveryCurveConfig,
+        format_corruption_sweep,
+        format_recovery_report,
+        run_corruption_sweep,
+        run_recovery_curve,
+    )
+    from .data.corruptions import corruption_names
+    from .serve import ModelRegistry
+
+    seed = 0 if args.seed is None else args.seed
+    try:
+        config = CorruptionSweepConfig(
+            methods=tuple(args.methods),
+            corruptions=(
+                tuple(args.corruptions) if args.corruptions else corruption_names()
+            ),
+            severities=tuple(args.severities),
+            bits=args.bits,
+            coverage=args.coverage,
+            eval_count=args.images,
+            batch_size=args.batch_size,
+            seed=seed,
+        )
+        recovery_config = RecoveryCurveConfig(
+            spec=f"{args.model}/quq/{args.bits}/{args.coverage}",
+            corruption=args.recovery_corruption,
+            severity=args.recovery_severity,
+            seed=seed,
+        ) if args.recovery else None
+    except ValueError as error:
+        raise SystemExit(f"repro corruption-sweep: error: {error}")
+    model, _, calib, _ = _setup(args.model, 64, seed=args.seed)
+    _, val_set = make_splits(**DATASET_SPEC)
+    report = {"sweep": run_corruption_sweep(model, calib, val_set, config)}
+    sections = [format_corruption_sweep(report["sweep"])]
+    if recovery_config is not None:
+        registry = ModelRegistry(capacity=4)
+        report["recovery"] = run_recovery_curve(
+            registry, val_set, calib, recovery_config
+        )
+        sections.append(format_recovery_report(report["recovery"]))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print("\n\n".join(sections))
+    if "recovery" in report and not report["recovery"]["passed"]:
+        raise SystemExit(1)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     commands = parser.add_subparsers(dest="command", required=True)
@@ -387,6 +446,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the raw report as JSON")
     _add_repro_flags(sweep)
     sweep.set_defaults(fn=cmd_fault_sweep)
+
+    corruption = commands.add_parser(
+        "corruption-sweep",
+        help="SynthShapes-C robustness grid, optionally with the drift "
+             "recovery curve",
+    )
+    corruption.add_argument("--model", default="vit_mini_s", choices=_TRAINABLE)
+    corruption.add_argument(
+        "--methods", nargs="+",
+        default=["fp32", "quq", "baseq", "biscaled", "ptq4vit"],
+        choices=["fp32", "baseq", "quq", "biscaled", "fqvit", "ptq4vit"],
+    )
+    corruption.add_argument("--corruptions", nargs="+", default=None,
+                            help="corruption ops (default: the full suite)")
+    corruption.add_argument("--severities", nargs="+", type=int, default=[1, 3, 5])
+    corruption.add_argument("--bits", type=int, default=6)
+    corruption.add_argument("--coverage", default="full",
+                            choices=["partial", "full"])
+    corruption.add_argument("--images", type=int, default=128,
+                            help="validation images scored per sweep cell")
+    corruption.add_argument("--recovery", action="store_true",
+                            help="also run the drift-triggered recovery curve")
+    corruption.add_argument("--recovery-corruption", default="gaussian_noise",
+                            dest="recovery_corruption")
+    corruption.add_argument("--recovery-severity", type=int, default=3,
+                            dest="recovery_severity")
+    corruption.add_argument("--output", default=None,
+                            help="also write the JSON report to this path")
+    corruption.add_argument("--json", action="store_true",
+                            help="print the raw report as JSON")
+    _add_repro_flags(corruption)
+    corruption.set_defaults(fn=cmd_corruption_sweep)
     return parser
 
 

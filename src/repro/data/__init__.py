@@ -1,7 +1,17 @@
-"""Synthetic dataset substrate (ImageNet stand-in)."""
+"""Synthetic dataset substrate (ImageNet stand-in) and its corruptions."""
 
 from .synthshapes import CLASS_NAMES, SynthShapes, denormalize, generate, make_splits, normalize
 from .loader import batches, calibration_set
+from .corruptions import (
+    CORRUPTIONS,
+    SEVERITIES,
+    corrupt_dataset,
+    corrupt_images,
+    corrupt_pixels,
+    corruption_names,
+    images_digest,
+    synthshapes_c,
+)
 
 __all__ = [
     "CLASS_NAMES",
@@ -12,4 +22,12 @@ __all__ = [
     "denormalize",
     "batches",
     "calibration_set",
+    "CORRUPTIONS",
+    "SEVERITIES",
+    "corruption_names",
+    "corrupt_pixels",
+    "corrupt_images",
+    "corrupt_dataset",
+    "synthshapes_c",
+    "images_digest",
 ]

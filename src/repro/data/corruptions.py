@@ -1,0 +1,184 @@
+"""SynthShapes-C: a deterministic, severity-leveled corruption suite.
+
+The serving stack calibrates its quantizers on clean SynthShapes traffic;
+this module manufactures the distribution shift that breaks that
+assumption.  Mirroring ImageNet-C's protocol, each corruption comes in
+five severities and is applied *post-render* in [0, 1] pixel space, so a
+corrupted split shares its labels (and therefore its accuracy ground
+truth) with the clean split it was derived from.
+
+Everything is seeded: ``(corruption, severity, seed)`` fully determines
+the output bytes, which the golden-hash tests pin so drift experiments
+reproduce across machines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from .synthshapes import SynthShapes, denormalize, normalize
+
+__all__ = [
+    "CORRUPTIONS",
+    "SEVERITIES",
+    "corruption_names",
+    "corrupt_pixels",
+    "corrupt_images",
+    "corrupt_dataset",
+    "synthshapes_c",
+    "images_digest",
+]
+
+#: ImageNet-C-style severity ladder (1 = mild, 5 = destructive).
+SEVERITIES = (1, 2, 3, 4, 5)
+
+
+def _level(table: tuple, severity: int):
+    if severity not in SEVERITIES:
+        raise ValueError(f"severity must be in {SEVERITIES}, got {severity}")
+    return table[severity - 1]
+
+
+# ----------------------------------------------------------------------
+# Corruption ops.  Each takes ``(images, severity, rng)`` with ``images``
+# of shape (N, H, W, 3) in [0, 1] and returns the corrupted copy in
+# [0, 1]; nothing mutates its input.
+
+
+def _gaussian_noise(images: np.ndarray, severity: int, rng: np.random.Generator):
+    sigma = _level((0.04, 0.08, 0.13, 0.19, 0.26), severity)
+    noise = rng.normal(0.0, sigma, size=images.shape).astype(np.float32)
+    return np.clip(images + noise, 0.0, 1.0)
+
+
+def _impulse_noise(images: np.ndarray, severity: int, rng: np.random.Generator):
+    fraction = _level((0.01, 0.03, 0.06, 0.10, 0.17), severity)
+    draws = rng.random(images.shape[:3])
+    out = images.copy()
+    out[draws < fraction / 2] = 1.0  # salt
+    out[(draws >= fraction / 2) & (draws < fraction)] = 0.0  # pepper
+    return out
+
+
+def _blur(images: np.ndarray, severity: int, rng: np.random.Generator):
+    repeats = _level((1, 2, 3, 5, 7), severity)
+    out = images.astype(np.float32)
+    for _ in range(repeats):
+        padded = np.pad(out, ((0, 0), (1, 1), (1, 1), (0, 0)), mode="edge")
+        acc = np.zeros_like(out)
+        for dy in range(3):
+            for dx in range(3):
+                acc += padded[:, dy : dy + out.shape[1], dx : dx + out.shape[2]]
+        out = acc / 9.0
+    return np.clip(out, 0.0, 1.0)
+
+
+def _brightness(images: np.ndarray, severity: int, rng: np.random.Generator):
+    shift = _level((0.08, 0.16, 0.25, 0.35, 0.45), severity)
+    return np.clip(images + shift, 0.0, 1.0)
+
+
+def _contrast(images: np.ndarray, severity: int, rng: np.random.Generator):
+    factor = _level((0.75, 0.55, 0.40, 0.28, 0.18), severity)
+    mean = images.mean(axis=(1, 2, 3), keepdims=True)
+    return np.clip((images - mean) * factor + mean, 0.0, 1.0)
+
+
+def _occlusion(images: np.ndarray, severity: int, rng: np.random.Generator):
+    fraction = _level((0.15, 0.22, 0.30, 0.38, 0.46), severity)
+    out = images.copy()
+    height, width = images.shape[1], images.shape[2]
+    side = max(1, int(round(fraction * min(height, width))))
+    for index in range(len(out)):
+        y0 = int(rng.integers(0, height - side + 1))
+        x0 = int(rng.integers(0, width - side + 1))
+        color = rng.uniform(0.0, 1.0, size=3).astype(np.float32)
+        out[index, y0 : y0 + side, x0 : x0 + side] = color
+    return out
+
+
+def _saturate(images: np.ndarray, severity: int, rng: np.random.Generator):
+    factor = _level((0.70, 0.50, 0.35, 0.20, 0.08), severity)
+    gray = images.mean(axis=-1, keepdims=True)
+    return np.clip(gray + (images - gray) * factor, 0.0, 1.0)
+
+
+#: Registry of corruption ops, in a stable order (the order seeds the RNG
+#: stream, so reordering would change outputs — append only).
+CORRUPTIONS = {
+    "gaussian_noise": _gaussian_noise,
+    "impulse_noise": _impulse_noise,
+    "blur": _blur,
+    "brightness": _brightness,
+    "contrast": _contrast,
+    "occlusion": _occlusion,
+    "saturate": _saturate,
+}
+
+
+def corruption_names() -> tuple[str, ...]:
+    return tuple(CORRUPTIONS)
+
+
+def _rng_for(name: str, severity: int, seed: int) -> np.random.Generator:
+    """One independent, reproducible stream per (corruption, severity, seed)."""
+    return np.random.default_rng([seed, severity, list(CORRUPTIONS).index(name)])
+
+
+def corrupt_pixels(
+    pixels: np.ndarray, name: str, severity: int, seed: int = 0
+) -> np.ndarray:
+    """Corrupt a batch of [0, 1] pixel images (N, H, W, 3)."""
+    if name not in CORRUPTIONS:
+        raise ValueError(f"unknown corruption {name!r}; choices: {corruption_names()}")
+    pixels = np.asarray(pixels, dtype=np.float32)
+    if pixels.ndim != 4 or pixels.shape[-1] != 3:
+        raise ValueError(f"expected (N, H, W, 3) images, got shape {pixels.shape}")
+    out = CORRUPTIONS[name](pixels, severity, _rng_for(name, severity, seed))
+    return out.astype(np.float32)
+
+
+def corrupt_images(
+    images: np.ndarray, name: str, severity: int, seed: int = 0
+) -> np.ndarray:
+    """Corrupt *normalized* images (the dataset/network representation).
+
+    Round-trips through pixel space so every corruption operates on
+    physical intensities and the result is renormalized exactly like the
+    clean data — corrupted batches are drop-in replacements for clean
+    ones anywhere in the pipeline.
+    """
+    return normalize(corrupt_pixels(denormalize(np.asarray(images)), name, severity, seed))
+
+
+def corrupt_dataset(
+    dataset: SynthShapes, name: str, severity: int, seed: int = 0
+) -> SynthShapes:
+    """Corrupted copy of a split; labels are shared, not copied."""
+    return SynthShapes(
+        corrupt_images(dataset.images, name, severity, seed=seed), dataset.labels
+    )
+
+
+def synthshapes_c(
+    dataset: SynthShapes,
+    names: tuple[str, ...] | None = None,
+    severities: tuple[int, ...] = SEVERITIES,
+    seed: int = 0,
+) -> dict[tuple[str, int], SynthShapes]:
+    """The full corrupted benchmark: every (corruption, severity) split."""
+    names = corruption_names() if names is None else tuple(names)
+    return {
+        (name, severity): corrupt_dataset(dataset, name, severity, seed=seed)
+        for name in names
+        for severity in severities
+    }
+
+
+def images_digest(images: np.ndarray) -> str:
+    """SHA-256 over the raw float32 bytes — the golden-hash determinism pin."""
+    return hashlib.sha256(
+        np.ascontiguousarray(np.asarray(images, dtype=np.float32)).tobytes()
+    ).hexdigest()

@@ -41,6 +41,16 @@ from .calibration import (
     mse_bound,
     percentile_bound,
 )
+from .drift import (
+    DriftMonitor,
+    DriftScores,
+    DriftThresholds,
+    DriftVerdict,
+    TapFingerprint,
+    TapStatsRecorder,
+    fingerprint_pipeline,
+    population_stability_index,
+)
 
 __all__ = [
     "Quantizer",
@@ -97,4 +107,12 @@ __all__ = [
     "mse_bound",
     "kl_bound",
     "calibrated_uniform",
+    "DriftMonitor",
+    "DriftScores",
+    "DriftThresholds",
+    "DriftVerdict",
+    "TapFingerprint",
+    "TapStatsRecorder",
+    "fingerprint_pipeline",
+    "population_stability_index",
 ]

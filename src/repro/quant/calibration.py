@@ -30,25 +30,41 @@ __all__ = [
 ]
 
 
-def absmax_bound(x: np.ndarray, bits: int) -> float:
-    """The largest magnitude (no clipping)."""
+#: Smallest bound any strategy may return: keeps the derived scale factor
+#: strictly positive even for all-zero, constant, or denormal-magnitude
+#: calibration tensors (a zero or NaN scale would poison every later
+#: quantize call with divide-by-zero).
+_MIN_BOUND = 1e-12
+
+
+def _finite_magnitudes(x: np.ndarray) -> np.ndarray:
+    """Flattened |x| with NaN/Inf dropped — the common degenerate-input
+    guard for every bound strategy (a single stray Inf must not blow the
+    clip range out to infinity)."""
     magnitudes = np.abs(np.asarray(x, dtype=np.float64)).reshape(-1)
+    return magnitudes[np.isfinite(magnitudes)]
+
+
+def absmax_bound(x: np.ndarray, bits: int) -> float:
+    """The largest (finite) magnitude — no clipping."""
+    magnitudes = _finite_magnitudes(x)
     if magnitudes.size == 0 or magnitudes.max() == 0:
         return 1.0
-    return float(magnitudes.max())
+    return max(float(magnitudes.max()), _MIN_BOUND)
 
 
 def percentile_bound(x: np.ndarray, bits: int, percentile: float = 99.9) -> float:
     """Magnitude percentile (clips the extreme tail)."""
-    magnitudes = np.abs(np.asarray(x, dtype=np.float64)).reshape(-1)
+    magnitudes = _finite_magnitudes(x)
     if magnitudes.size == 0 or magnitudes.max() == 0:
         return 1.0
-    return max(float(np.percentile(magnitudes, percentile)), 1e-12)
+    return max(float(np.percentile(magnitudes, percentile)), _MIN_BOUND)
 
 
 def mse_bound(x: np.ndarray, bits: int, candidates: int = 20) -> float:
     """Sweep clip bounds; return the quantization-MSE minimizer."""
     flat = np.asarray(x, dtype=np.float64).reshape(-1)
+    flat = flat[np.isfinite(flat)]
     if flat.size == 0:
         return 1.0
     max_mag = float(np.abs(flat).max())
@@ -63,7 +79,7 @@ def mse_bound(x: np.ndarray, bits: int, candidates: int = 20) -> float:
         err = float(np.mean((quantized - flat) ** 2))
         if best_err is None or err < best_err:
             best_bound, best_err = bound, err
-    return best_bound
+    return max(best_bound, _MIN_BOUND)
 
 
 def kl_bound(x: np.ndarray, bits: int, histogram_bins: int = 1024) -> float:
@@ -74,7 +90,7 @@ def kl_bound(x: np.ndarray, bits: int, histogram_bins: int = 1024) -> float:
     quantized re-expansion over ``2^(bits-1)`` levels; the candidate with
     the smallest KL divergence wins.
     """
-    flat = np.abs(np.asarray(x, dtype=np.float64)).reshape(-1)
+    flat = _finite_magnitudes(x)
     if flat.size == 0 or flat.max() == 0:
         return 1.0
     counts, edges = np.histogram(flat, bins=histogram_bins)
@@ -103,7 +119,7 @@ def kl_bound(x: np.ndarray, bits: int, histogram_bins: int = 1024) -> float:
         if best_divergence is None or divergence < best_divergence:
             best_divergence = divergence
             best_bound = float(edges[stop])
-    return best_bound
+    return max(best_bound, _MIN_BOUND)
 
 
 CALIBRATION_STRATEGIES = {

@@ -99,6 +99,11 @@ class QuantEnv(TapDispatcher):
         self.quantizers: dict[str, Quantizer] = {}
         self.capture_grads = False
         self.seen_taps: set[str] = set()
+        # Optional drift hook (repro.quant.drift.TapStatsRecorder): when
+        # set, quantize-phase taps also report the *pre-quantization*
+        # tensor so live statistics can be compared against the
+        # calibration fingerprint without storing activations.
+        self.stats_recorder = None
 
     # ------------------------------------------------------------------
     def observed(self, name: str) -> np.ndarray:
@@ -137,6 +142,8 @@ class QuantEnv(TapDispatcher):
             return value
 
         if self.phase == "quantize":
+            if self.stats_recorder is not None:
+                self.stats_recorder.record(name, value.data)
             quantizer = self.quantizers.get(name)
             if quantizer is None:
                 return value

@@ -13,9 +13,13 @@ Turns the offline reproduction into a request-serving system:
   latency histograms exported as a JSON snapshot.
 * :mod:`repro.serve.loadgen` — synthetic open-loop benchmark driver
   (``python -m repro serve-bench``).
+* :mod:`repro.serve.drift` — activation-drift monitoring and online
+  recalibration (fingerprint compare -> shadow recalibrate -> canary ->
+  atomic swap).
 """
 
 from .metrics import Counter, Distribution, Histogram, Metrics
+from .drift import DriftOutcome, DriftPolicy, RecalibrationManager
 from .scheduler import (
     Batch,
     BatchPolicy,
@@ -44,6 +48,9 @@ __all__ = [
     "ServableModel",
     "ServeEngine",
     "ServeResult",
+    "DriftOutcome",
+    "DriftPolicy",
+    "RecalibrationManager",
     "format_snapshot",
     "run_serve_benchmark",
     "synthetic_requests",

@@ -18,7 +18,12 @@ on top of that (:mod:`repro.resilience`):
 * a **worker watchdog** — a lane that is busy but silent past
   ``watchdog_stall_s`` gets a replacement worker via
   :meth:`ServeEngine.check_watchdog` (the wedged daemon thread finishes
-  or dies on its own; late completions are first-wins no-ops).
+  or dies on its own; late completions are first-wins no-ops);
+* optional **drift-aware recalibration** (:mod:`repro.serve.drift`) —
+  lanes sample input/activation statistics against the calibration
+  fingerprint, and sustained drift triggers a shadow recalibration on
+  recent inputs, canary-validated and atomically swapped into the
+  registry.
 
 An optional :class:`~repro.resilience.faults.FaultPlan` injects
 deterministic faults at the batch-execution sites (exceptions, polluted
@@ -43,6 +48,7 @@ from ..resilience.breaker import CircuitBreaker
 from ..resilience.faults import BATCH_EXCEPTION, FaultPlan
 from ..resilience.guards import NumericGuard, NumericGuardError
 from ..resilience.watchdog import WorkerWatchdog
+from .drift import DriftPolicy, RecalibrationManager
 from .metrics import Metrics
 from .registry import ModelKey, ModelRegistry
 from .scheduler import Batch, BatchPolicy, MicroBatchScheduler, QueueFullError, ServeRequest
@@ -87,6 +93,7 @@ class ServeEngine:
         clock=time.monotonic,
         resilience: ResiliencePolicy | None = None,
         faults: FaultPlan | None = None,
+        drift: DriftPolicy | RecalibrationManager | None = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -99,6 +106,14 @@ class ServeEngine:
         self.clock = clock
         self.resilience = ResiliencePolicy() if resilience is None else resilience
         self.faults = faults
+        # Drift-aware serving is opt-in: pass a DriftPolicy (the engine
+        # builds the manager over its own registry/metrics/clock) or a
+        # pre-wired RecalibrationManager.
+        if isinstance(drift, DriftPolicy):
+            drift = RecalibrationManager(
+                self.registry, drift, metrics=self.metrics, clock=clock
+            )
+        self.drift = drift
         self.guard = NumericGuard(saturation_limit=self.resilience.guard_saturation)
         self.watchdog = WorkerWatchdog(
             stall_after_s=self.resilience.watchdog_stall_s, clock=clock
@@ -214,7 +229,12 @@ class ServeEngine:
             try:
                 if self.faults is not None:
                     self.faults.raise_if(BATCH_EXCEPTION, site=spec)
-                candidate = servable.predict(batch.images)
+                recorder = (
+                    self.drift.recorder_for(lane.key, servable)
+                    if self.drift is not None
+                    else None
+                )
+                candidate = servable.predict(batch.images, recorder=recorder)
                 if self.faults is not None:
                     candidate = self.faults.corrupt_logits(candidate, site=spec)
                 verdict = self.guard.scan(candidate)
@@ -260,6 +280,14 @@ class ServeEngine:
                 ServeResult(int(label), row, len(batch), quantized),
                 now=finished,
             )
+        if self.drift is not None:
+            # Drift bookkeeping after the requests were answered; a
+            # sustained verdict recalibrates synchronously on this worker
+            # (the stale entry keeps serving via registry.get meanwhile),
+            # so keep the watchdog fed across the potentially long swap.
+            self.watchdog.beat(spec, now=self.clock())
+            self.drift.finish_batch(lane.key, servable, batch.images)
+            self.watchdog.beat(spec, now=self.clock())
 
     # ------------------------------------------------------------------
     def check_watchdog(self, now: float | None = None) -> list[str]:
@@ -302,6 +330,7 @@ class ServeEngine:
         return self.metrics.snapshot(
             extra={
                 "registry": self.registry.snapshot(),
+                "drift": self.drift.snapshot() if self.drift is not None else {},
                 "lanes": {
                     lane.key.spec: {
                         "queued": lane.scheduler.qsize(),

@@ -104,22 +104,39 @@ class ServableModel:
         fp32_top1: float,
         pipeline: PTQPipeline | None,
         fallback_reason: str | None = None,
+        fingerprints: dict | None = None,
     ):
         self.key = key
         self.model = model
         self.fp32_top1 = fp32_top1
         self.pipeline = pipeline
         self.fallback_reason = fallback_reason
+        # Calibration fingerprints (repro.quant.drift.TapFingerprint by
+        # tap name) recorded when the pipeline was calibrated; the drift
+        # monitor compares live traffic against them.
+        self.fingerprints = fingerprints
         self._lock = threading.Lock()
 
     @property
     def quantized(self) -> bool:
         return self.pipeline is not None
 
-    def predict(self, images: np.ndarray) -> np.ndarray:
-        """Logits for a batch; serialized so one model runs one batch at a time."""
+    def predict(self, images: np.ndarray, recorder=None) -> np.ndarray:
+        """Logits for a batch; serialized so one model runs one batch at a time.
+
+        ``recorder`` (a :class:`~repro.quant.drift.TapStatsRecorder`)
+        samples live activation statistics at every quantized tap for the
+        duration of this forward pass only — attached and detached under
+        the lock, so concurrent predicts never see another batch's hook.
+        """
         with self._lock:
-            return self._forward(images)
+            if recorder is None or self.pipeline is None:
+                return self._forward(images)
+            self.pipeline.env.stats_recorder = recorder
+            try:
+                return self._forward(images)
+            finally:
+                self.pipeline.env.stats_recorder = None
 
     def predict_float(self, images: np.ndarray) -> np.ndarray:
         """Logits through the float weights, quantization detached.
@@ -179,6 +196,7 @@ class ModelRegistry:
             "retries": 0,
             "load_failures": 0,
             "checksum_rejects": 0,
+            "swaps": 0,
         }
 
     # ------------------------------------------------------------------
@@ -213,6 +231,15 @@ class ModelRegistry:
             self.stats["load_failures"] += 1
             raise
 
+    def _fingerprints_for(self, pipeline: PTQPipeline) -> dict | None:
+        """Calibration fingerprints for drift monitoring (best effort)."""
+        from ..quant.drift import fingerprint_pipeline
+
+        try:
+            return fingerprint_pipeline(pipeline, self._calibration_images())
+        except Exception:
+            return None  # fingerprinting is observability, never a blocker
+
     def _build(self, key: ModelKey) -> ServableModel:
         model, fp32 = self._load_model(key)
         if key.method == "fp32":
@@ -234,7 +261,10 @@ class ModelRegistry:
                     # of trusting it.
                     pipeline.load_quantizers(state, require_checksum=True)
                     self.stats["warm_loads"] += 1
-                    return ServableModel(key, model, fp32, pipeline)
+                    return ServableModel(
+                        key, model, fp32, pipeline,
+                        fingerprints=self._fingerprints_for(pipeline),
+                    )
                 except ChecksumError:
                     # Corrupt (or unverifiable) artifact: reject it and fall
                     # through to a fresh calibration rather than serving
@@ -250,7 +280,10 @@ class ModelRegistry:
                 hessian_refine(pipeline, self._calibration_images())
             self.stats["calibrations"] += 1
             pipeline.save_quantizers(state)
-            return ServableModel(key, model, fp32, pipeline)
+            return ServableModel(
+                key, model, fp32, pipeline,
+                fingerprints=self._fingerprints_for(pipeline),
+            )
         except Exception as error:  # degrade to float rather than failing
             self.stats["fallbacks"] += 1
             model.set_tap_dispatcher(None)
@@ -278,13 +311,66 @@ class ModelRegistry:
     def invalidate(self, spec: str | ModelKey) -> bool:
         """Drop a cached entry so the next ``get`` rebuilds from disk.
 
-        Operational escape hatch (and the chaos harness's way to force a
-        reload through a corrupted artifact).  Returns whether an entry
-        was actually dropped.
+        Safe under live traffic: serving lanes resolve their
+        :class:`ServableModel` through ``get`` on *every* batch, so a lane
+        picks up the rebuilt entry on its next batch — an in-flight batch
+        finishes on the old object (which stays valid until
+        garbage-collected), and nothing holds a stale reference beyond
+        that.  Operational escape hatch (and the chaos harness's way to
+        force a reload through a corrupted artifact).  Returns whether an
+        entry was actually dropped.
         """
         key = ModelKey.parse(spec) if isinstance(spec, str) else spec
         with self._lock:
             return self._entries.pop(key, None) is not None
+
+    def shadow_build(self, key: ModelKey, calib_images: np.ndarray) -> ServableModel:
+        """Build a replacement entry calibrated on ``calib_images`` without
+        touching the cache.
+
+        The recalibration manager uses this to recalibrate *in the shadow*
+        of live traffic: a fresh model instance is loaded and calibrated
+        while the cached entry keeps serving, canary-validated by the
+        caller, and only then installed via :meth:`swap`.
+        """
+        if key.method == "fp32":
+            raise ValueError("fp32 entries have no quantizer to recalibrate")
+        model, fp32 = self._load_model(key)
+        pipeline = PTQPipeline(
+            model, method=key.method, bits=key.bits, coverage=key.coverage
+        )
+        pipeline.calibrate(np.asarray(calib_images))
+        if self._hessian:
+            from ..quant.hessian import hessian_refine
+
+            hessian_refine(pipeline, np.asarray(calib_images))
+        self.stats["calibrations"] += 1
+        from ..quant.drift import fingerprint_pipeline
+
+        fingerprints = fingerprint_pipeline(pipeline, np.asarray(calib_images))
+        return ServableModel(key, model, fp32, pipeline, fingerprints=fingerprints)
+
+    def swap(self, key: ModelKey, servable: ServableModel, persist: bool = True) -> None:
+        """Atomically install ``servable`` as the cache entry for ``key``.
+
+        Lanes resolve through ``get`` every batch, so the very next batch
+        serves the replacement; ``persist`` re-serializes its quantizer
+        state so a restart warm-starts from the swapped-in calibration.
+        """
+        if servable.key != key:
+            raise ValueError(f"servable is for {servable.key.spec}, not {key.spec}")
+        with self._lock:
+            self._entries[key] = servable
+            self._entries.move_to_end(key)
+            self.stats["swaps"] += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats["evictions"] += 1
+        if persist and servable.pipeline is not None:
+            try:
+                servable.pipeline.save_quantizers(self.state_path(key))
+            except Exception:
+                pass  # persistence is best effort; the swap already served
 
     def __contains__(self, spec: str | ModelKey) -> bool:
         key = ModelKey.parse(spec) if isinstance(spec, str) else spec

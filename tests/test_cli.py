@@ -32,10 +32,11 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for command in ("zoo", "quantize", "export", "table4", "memory",
-                        "inspect", "serve-bench", "chaos-soak", "fault-sweep"):
+                        "inspect", "serve-bench", "chaos-soak", "fault-sweep",
+                        "corruption-sweep"):
             # Should parse without SystemExit for arg-free commands…
             if command in ("zoo", "table4", "memory", "serve-bench",
-                           "chaos-soak", "fault-sweep"):
+                           "chaos-soak", "fault-sweep", "corruption-sweep"):
                 args = parser.parse_args([command])
                 assert callable(args.fn)
 
@@ -104,6 +105,34 @@ class TestParser:
     def test_fault_sweep_rejects_bad_site(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fault-sweep", "--sites", "dram"])
+
+    def test_corruption_sweep_defaults(self):
+        args = build_parser().parse_args(["corruption-sweep"])
+        assert args.model == "vit_mini_s" and args.bits == 6
+        assert args.methods == ["fp32", "quq", "baseq", "biscaled", "ptq4vit"]
+        assert args.corruptions is None and args.severities == [1, 3, 5]
+        assert args.images == 128 and not args.recovery
+        assert args.recovery_corruption == "gaussian_noise"
+        assert args.recovery_severity == 3
+        assert args.output is None and not args.json
+        assert callable(args.fn)
+
+    def test_corruption_sweep_flags(self):
+        args = build_parser().parse_args([
+            "corruption-sweep", "--methods", "quq", "baseq",
+            "--corruptions", "blur", "occlusion", "--severities", "2", "4",
+            "--bits", "4", "--images", "64", "--recovery",
+            "--recovery-severity", "5", "--seed", "3", "--json",
+        ])
+        assert args.methods == ["quq", "baseq"]
+        assert args.corruptions == ["blur", "occlusion"]
+        assert args.severities == [2, 4] and args.bits == 4
+        assert args.images == 64 and args.recovery
+        assert args.recovery_severity == 5 and args.seed == 3 and args.json
+
+    def test_corruption_sweep_rejects_bad_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["corruption-sweep", "--methods", "awq"])
 
     def test_serve_bench_policy_flags(self):
         args = build_parser().parse_args([

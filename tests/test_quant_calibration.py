@@ -39,6 +39,47 @@ class TestBounds:
             assert fn(np.zeros(10), 8) > 0
             assert fn(np.array([]), 8) > 0
 
+    @pytest.mark.parametrize(
+        "data",
+        [
+            np.full(64, 3.5),  # constant
+            np.full(64, -2.0),  # constant negative
+            np.full(64, 1e-300),  # denormal-scale constant
+            np.array([np.inf, -np.inf, np.nan, 1.0, -1.0] * 8),  # non-finite mix
+            np.array([np.inf] * 16),  # all non-finite
+            np.array([np.nan] * 16),
+        ],
+        ids=["constant", "negative", "denormal", "mixed", "all-inf", "all-nan"],
+    )
+    def test_hostile_inputs_yield_positive_finite_bounds(self, data):
+        """Calibration on degenerate data must never produce a zero, NaN,
+        or infinite bound (a zero bound would divide the quantizer's step
+        computation by zero; an Inf bound would silently disable it)."""
+        import warnings
+
+        for fn in (absmax_bound, percentile_bound, mse_bound, kl_bound):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # div-by-zero etc. are bugs
+                bound = fn(data, 8)
+            assert np.isfinite(bound) and bound > 0, (fn.__name__, bound)
+
+    def test_finite_values_dominate_nonfinite_neighbours(self):
+        # An Inf outlier must not drag the bound to Inf: the finite mass
+        # defines the range.
+        data = np.concatenate([np.random.default_rng(0).normal(size=1000),
+                               [np.inf, -np.inf, np.nan]])
+        for fn in (absmax_bound, percentile_bound, mse_bound, kl_bound):
+            bound = fn(data, 8)
+            assert np.isfinite(bound)
+            assert bound <= np.abs(data[np.isfinite(data)]).max() * 1.001
+
+    def test_calibrated_uniform_survives_hostile_inputs(self):
+        for data in (np.zeros(32), np.full(32, np.inf), np.full(32, 1e-300)):
+            for strategy in sorted(CALIBRATION_STRATEGIES):
+                quantizer = calibrated_uniform(data, 6, strategy)
+                out = quantizer.fake_quantize(np.zeros(8))
+                assert np.isfinite(out).all()
+
 
 class TestCalibratedUniform:
     def test_absmax_matches_default_fit(self, long_tail):

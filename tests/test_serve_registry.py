@@ -191,6 +191,39 @@ class TestWarmStart:
         assert not registry.invalidate("vit_s/quq/4")  # already gone
 
 
+class TestInvalidateUnderLoad:
+    def test_mid_stream_invalidation_is_picked_up_next_batch(
+        self, registry, tiny_data
+    ):
+        """Invalidating a lane's entry while the engine is serving it must
+        not drop or corrupt requests: lanes resolve through registry.get
+        on every batch, so the next batch serves a freshly built entry."""
+        from repro.serve import BatchPolicy, ServeEngine
+
+        _, val_set = tiny_data
+        spec = "vit_s/quq/4"
+        policy = BatchPolicy(max_batch_size=4, max_wait_ms=5.0, max_queue=64)
+        with ServeEngine(registry, policy) as engine:
+            engine.warm(spec)
+            before = registry.get(spec)
+            results = []
+            for index, image in enumerate(val_set.images[:24]):
+                if index == 12:
+                    assert registry.invalidate(spec)
+                    assert spec not in registry
+                results.append(engine.submit(spec, image).result(timeout=30.0))
+            after = registry.get(spec)
+
+        assert after is not before  # the replacement took over mid-stream
+        assert all(r.quantized for r in results)
+        assert all(np.isfinite(r.logits).all() for r in results)
+        snap = registry.snapshot()
+        # One build at warm-up, one rebuild after the invalidation; the
+        # second build may warm-start from the persisted artifact.
+        assert snap["calibrations"] + snap["warm_loads"] == 2
+        assert engine.snapshot()["counters"]["responses_total"] == 24
+
+
 class TestLoadRetry:
     def test_transient_loader_failures_are_retried(self, tmp_path, calib_images):
         from repro.resilience import RetryPolicy
