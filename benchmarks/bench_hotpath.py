@@ -1,0 +1,60 @@
+"""Hot-path latency regression baseline: the weight cache must pay.
+
+Runs :func:`repro.analysis.run_hotpath_bench` on the self-contained tiny
+ViT (``TINY_HOTPATH_VIT``) and asserts the two properties the cached
+weight path promises:
+
+* **Bit-exactness** — cached and uncached forward passes produce
+  identical logits (``np.array_equal``), for every quantized method.
+* **Speedup** — steady-state QUQ batch latency with the cache is at
+  least 1.5x faster than the uncached path, which is byte-for-byte the
+  pre-cache hot path (every batch re-fake-quantizing every weight tap).
+
+Timing on shared CI hardware is noisy, so the speedup assertion takes
+the best of a few trials; the bit-exactness assertion holds on every
+trial unconditionally.  The report of the final trial is persisted to
+``benchmarks/results/hotpath.txt`` and, as the machine-readable
+perf-trajectory point, to ``BENCH_serve.json`` at the repo root via
+``python -m repro perf-bench --tiny``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    HotpathConfig,
+    format_hotpath_report,
+    run_hotpath_bench,
+)
+
+from conftest import save_result
+
+#: Acceptance floor for the weight cache on the tiny ViT config.
+SPEEDUP_FLOOR = 1.5
+
+#: Timing trials (best-of) to ride out scheduler noise on shared runners.
+TRIALS = 3
+
+
+def test_hotpath_weight_cache_speedup_and_bit_exactness():
+    config = HotpathConfig(methods=("fp32", "baseq", "quq"))
+    best_speedup = 0.0
+    report = None
+    for _ in range(TRIALS):
+        report = run_hotpath_bench(config)
+        # Bit-exactness is a correctness property: every trial must pass.
+        assert report["attestation"]["bit_exact"], report["attestation"]
+        speedup = report["methods"]["quq"]["cache_speedup"]
+        best_speedup = max(best_speedup, speedup)
+        if best_speedup >= SPEEDUP_FLOOR:
+            break
+
+    save_result("hotpath", format_hotpath_report(report))
+
+    quq = report["methods"]["quq"]
+    # The cache was exercised: every weight tap hit after warm-up.
+    assert quq["weight_cache"]["entries"] > 0
+    assert quq["weight_cache"]["hits"] > quq["weight_cache"]["entries"]
+    assert best_speedup >= SPEEDUP_FLOOR, (
+        f"weight cache speedup {best_speedup:.2f}x < {SPEEDUP_FLOOR}x "
+        f"over {TRIALS} trials"
+    )

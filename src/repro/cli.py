@@ -12,6 +12,7 @@ Commands
 ``chaos-soak``     serve under a seeded fault plan, audit the recovery
 ``fault-sweep``    bit-fault injection sweep over the QUA datapath
 ``corruption-sweep``  SynthShapes-C robustness grid + drift recovery curve
+``perf-bench``     hot-path latency: calibrate/first-batch/steady per method
 
 Model-dependent commands share ``--seed`` (calibration/val sampling) and
 ``--batch-size`` (inference batch size) so runs are reproducible from the
@@ -328,6 +329,54 @@ def cmd_corruption_sweep(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_perf_bench(args) -> None:
+    import json
+
+    from .analysis import (
+        HotpathConfig,
+        format_hotpath_report,
+        run_hotpath_bench,
+        tiny_hotpath_model,
+    )
+
+    seed = 0 if args.seed is None else args.seed
+    try:
+        config = HotpathConfig(
+            methods=tuple(args.methods),
+            bits=args.bits,
+            coverage=args.coverage,
+            batch_size=args.batch_size,
+            measured_batches=args.batches,
+            calib_count=args.calib_count,
+            seed=seed,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro perf-bench: error: {error}")
+
+    if args.tiny:
+        # Self-contained: random weights, synthetic calibration images —
+        # latency and the bit-exactness attestation need neither the zoo
+        # nor the dataset, so this path suits CI smoke runs.
+        report = run_hotpath_bench(config, model_factory=tiny_hotpath_model)
+    else:
+        model, _, calib, _ = _setup(args.model, 64, seed=args.seed)
+        report = run_hotpath_bench(
+            config,
+            model_factory=lambda _seed: model,
+            calib=calib[: config.calib_count],
+        )
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_hotpath_report(report))
+    if not report["attestation"]["bit_exact"]:
+        raise SystemExit(1)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     commands = parser.add_subparsers(dest="command", required=True)
@@ -478,6 +527,31 @@ def build_parser() -> argparse.ArgumentParser:
                             help="print the raw report as JSON")
     _add_repro_flags(corruption)
     corruption.set_defaults(fn=cmd_corruption_sweep)
+
+    perf = commands.add_parser(
+        "perf-bench",
+        help="hot-path latency benchmark with weight-cache attestation",
+    )
+    perf.add_argument("--tiny", action="store_true",
+                      help="self-contained tiny ViT with synthetic calibration "
+                           "(no zoo training; suitable for CI smoke runs)")
+    perf.add_argument("--model", default="vit_mini_s", choices=_TRAINABLE,
+                      help="zoo model to benchmark when --tiny is not set")
+    perf.add_argument("--methods", nargs="+", default=["fp32", "baseq", "quq"],
+                      choices=["fp32", "baseq", "quq", "biscaled", "fqvit",
+                               "ptq4vit"])
+    perf.add_argument("--bits", type=int, default=6)
+    perf.add_argument("--coverage", default="full", choices=["partial", "full"])
+    perf.add_argument("--batches", type=int, default=20,
+                      help="steady-state batches measured per method")
+    perf.add_argument("--calib-count", type=int, default=16, dest="calib_count",
+                      help="calibration images used for the timed calibrate")
+    perf.add_argument("--output", default="BENCH_serve.json",
+                      help="write the JSON report here ('' to skip)")
+    perf.add_argument("--json", action="store_true",
+                      help="print the raw report as JSON")
+    _add_repro_flags(perf)
+    perf.set_defaults(fn=cmd_perf_bench, batch_size=2)
     return parser
 
 

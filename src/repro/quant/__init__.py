@@ -10,6 +10,7 @@ from .qub import (
     SpaceRegister,
     decode,
     encode,
+    encode_batch,
     legalize_for_hardware,
 )
 from .uniform import (
@@ -68,6 +69,7 @@ __all__ = [
     "FCRegisters",
     "SpaceRegister",
     "encode",
+    "encode_batch",
     "decode",
     "legalize_for_hardware",
     "MAX_SHIFT",

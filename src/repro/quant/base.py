@@ -20,7 +20,23 @@ class Quantizer:
         if bits < 2:
             raise ValueError(f"bit-width must be >= 2, got {bits}")
         self.bits = bits
-        self.fitted = False
+        self._fitted = False
+        self.param_version = 0
+
+    @property
+    def fitted(self) -> bool:
+        return self._fitted
+
+    @fitted.setter
+    def fitted(self, value: bool) -> None:
+        # Every (re)fit — fit(), a serialization restore, a scaled() clone —
+        # marks itself by setting ``fitted = True``, so the version counter
+        # advances whenever the quantization parameters may have changed.
+        # Caches of quantized outputs (the weight cache in
+        # :mod:`repro.quant.observers`) key on this counter to invalidate.
+        if value:
+            self.param_version += 1
+        self._fitted = bool(value)
 
     def fit(self, x: np.ndarray) -> "Quantizer":
         """Choose quantization parameters from calibration tensor ``x``."""

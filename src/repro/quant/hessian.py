@@ -131,9 +131,13 @@ def hessian_refine(
         env.quantizers[name] = quantizer.scaled(best_alpha)
         chosen[name] = best_alpha
 
-    # Restore the quantizing dispatcher state.
+    # Restore the quantizing dispatcher state.  The grid search replaced
+    # quantizer objects wholesale, so the weight cache re-warms against the
+    # refined scales before inference resumes.
     env.phase = "quantize"
     env.watched = None
     env.clear_observations()
+    env.invalidate_weight_cache()
     model.zero_grad()
+    pipeline.warm_weight_cache()
     return chosen

@@ -104,6 +104,19 @@ class QuantEnv(TapDispatcher):
         # tensor so live statistics can be compared against the
         # calibration fingerprint without storing activations.
         self.stats_recorder = None
+        # Weight cache: weight taps always see the same parameter tensor
+        # between calibrations, so their fake-quantized arrays are computed
+        # once and replayed per batch.  Entries are invalidated by the
+        # env-level ``cache_version`` (bumped on recalibration/reload), by
+        # the quantizer's ``param_version`` (bumped on any refit), and by
+        # the weight array's identity (every weight update in this codebase
+        # rebinds ``param.data``, and the QAT path runs with gradients
+        # enabled, which bypasses the cache entirely).
+        self.weight_cache_enabled = True
+        self.cache_version = 0
+        self.weight_cache_hits = 0
+        self.weight_cache_misses = 0
+        self._weight_cache: dict[str, tuple] = {}
 
     # ------------------------------------------------------------------
     def observed(self, name: str) -> np.ndarray:
@@ -120,6 +133,55 @@ class QuantEnv(TapDispatcher):
     def clear_observations(self) -> None:
         self.records.clear()
         self.grad_records.clear()
+
+    # ------------------------------------------------------------------
+    def invalidate_weight_cache(self) -> None:
+        """Drop every cached weight and advance the cache version.
+
+        Called whenever the set of fitted quantizers is replaced wholesale
+        (recalibration, deserialization) — per-entry staleness from a
+        refit or a weight rebind is caught by the entry checks instead.
+        """
+        self.cache_version += 1
+        self._weight_cache.clear()
+
+    def cached_fake_weight(
+        self, name: str, quantizer: Quantizer, data: np.ndarray
+    ) -> np.ndarray:
+        """The fake-quantized array for weight tap ``name``, cached.
+
+        A hit requires the same weight array (by identity), the same
+        quantizer object at the same ``param_version``, and the current
+        ``cache_version`` — any mismatch recomputes, so the cached path is
+        bit-exact with the uncached one by construction.
+        """
+        entry = self._weight_cache.get(name)
+        if (
+            entry is not None
+            and entry[0] is data
+            and entry[1] is quantizer
+            and entry[2] == quantizer.param_version
+            and entry[3] == self.cache_version
+        ):
+            self.weight_cache_hits += 1
+            return entry[4]
+        self.weight_cache_misses += 1
+        quantized = np.asarray(quantizer.fake_quantize(data), dtype=np.float32)
+        quantized.setflags(write=False)  # shared across batches: freeze it
+        self._weight_cache[name] = (
+            data, quantizer, quantizer.param_version, self.cache_version, quantized,
+        )
+        return quantized
+
+    def weight_cache_info(self) -> dict:
+        """JSON-serializable cache statistics (observability, tests)."""
+        return {
+            "enabled": self.weight_cache_enabled,
+            "entries": len(self._weight_cache),
+            "hits": self.weight_cache_hits,
+            "misses": self.weight_cache_misses,
+            "version": self.cache_version,
+        }
 
     # ------------------------------------------------------------------
     def tap(self, name: str, value: Tensor) -> Tensor:
@@ -147,6 +209,17 @@ class QuantEnv(TapDispatcher):
             quantizer = self.quantizers.get(name)
             if quantizer is None:
                 return value
+            if (
+                self.weight_cache_enabled
+                and name.endswith(".weight")
+                and not is_grad_enabled()
+            ):
+                # Static weight tap on the inference path: replay the
+                # cached quantized array instead of re-fake-quantizing.
+                # QAT (gradients enabled) bypasses the cache because the
+                # weights change every optimizer step.
+                quantized = self.cached_fake_weight(name, quantizer, value.data)
+                return straight_through(value, lambda _data: quantized)
             return straight_through(value, quantizer.fake_quantize)
 
         raise RuntimeError(f"unknown QuantEnv phase {self.phase!r}")

@@ -152,7 +152,9 @@ class PTQPipeline:
         self.env.phase = "quantize"
         self.env.watched = None
         self.env.clear_observations()
+        self.env.invalidate_weight_cache()
         self.calibrated = True
+        self.warm_weight_cache()
         return self
 
     # ------------------------------------------------------------------
@@ -173,6 +175,36 @@ class PTQPipeline:
         if not self.calibrated:
             raise RuntimeError("calibrate() must run before querying taps")
         return sorted(self.env.quantizers)
+
+    def warm_weight_cache(self) -> int:
+        """Pre-compute the fake-quantized array for every weight tap.
+
+        Weight quantizers are fitted on the parameter tensors themselves
+        and those tensors never change between calibrations, so the
+        quantize-dequantize round trip is hoisted out of the per-batch
+        forward pass: each weight tap replays its cached array until a
+        recalibration, a :meth:`load_quantizers`, a quantizer refit, or a
+        weight update invalidates it.  Returns the number of weight taps
+        cached.  Idempotent and cheap when the cache is already warm.
+        """
+        if not self.calibrated:
+            raise RuntimeError("calibrate() must run before warm_weight_cache()")
+        parameters = dict(self.model.named_parameters())
+        count = 0
+        for name, quantizer in self.env.quantizers.items():
+            if classify_tap(name) is not TapKind.WEIGHT:
+                continue
+            param_name = name.split(".", 1)[1] if "." in name else name
+            param = parameters.get(param_name)
+            if param is None:
+                continue  # tap without a live parameter (defensive)
+            self.env.cached_fake_weight(name, quantizer, param.data)
+            count += 1
+        return count
+
+    def weight_cache_info(self) -> dict:
+        """Cache statistics (hits/misses/entries) for observability."""
+        return self.env.weight_cache_info()
 
     def detach(self) -> None:
         """Restore the model to its float behaviour."""
@@ -228,8 +260,10 @@ class PTQPipeline:
         self.env.clear_observations()
         self.env.watched = None
         self.env.phase = "quantize"
+        self.env.invalidate_weight_cache()
         self.model.set_tap_dispatcher(self.env)
         self.calibrated = True
+        self.warm_weight_cache()
         return self
 
     # ------------------------------------------------------------------

@@ -38,6 +38,7 @@ __all__ = [
     "SpaceRegister",
     "FCRegisters",
     "encode",
+    "encode_batch",
     "decode",
     "legalize_for_hardware",
     "MAX_SHIFT",
@@ -184,30 +185,77 @@ def legalize_for_hardware(params: QUQParams) -> QUQParams:
     return current
 
 
-def encode(qt: QuantizedTensor) -> tuple[np.ndarray, FCRegisters]:
-    """Encode a quantized tensor into QUB bytes plus its FC registers."""
-    params = qt.params
-    bits = params.bits
-    registers = FCRegisters.from_params(params)
+def _encode_codes(
+    codes: np.ndarray, subranges: np.ndarray, registers: FCRegisters, bits: int
+) -> np.ndarray:
+    """Vectorized core of :func:`encode`: codes + subrange ids -> QUB words.
+
+    Copies the code array only when a negative-reserved space forces the
+    zero-to-``-1`` clamp; the common both-sides layout encodes without any
+    intermediate copy.
+    """
     half = 2 ** (bits - 1)
-
-    fine_mask = (qt.subranges == SUBRANGE_IDS[Subrange.F_NEG]) | (
-        qt.subranges == SUBRANGE_IDS[Subrange.F_POS]
+    fine_mask = (subranges == SUBRANGE_IDS[Subrange.F_NEG]) | (
+        subranges == SUBRANGE_IDS[Subrange.F_POS]
     )
-    codes = qt.codes.astype(np.int64).copy()
-
-    # A one-sided negative space cannot express zero: clamp to -1.
-    for mask, register in (
-        (fine_mask, registers.fine),
-        (~fine_mask, registers.coarse),
-    ):
-        if register.negative_reserved:
-            zero = mask & (codes == 0)
-            codes[zero] = -1
+    if registers.fine.negative_reserved or registers.coarse.negative_reserved:
+        # A one-sided negative space cannot express zero: clamp to -1.
+        codes = codes.astype(np.int64, copy=True)
+        for mask, register in (
+            (fine_mask, registers.fine),
+            (~fine_mask, registers.coarse),
+        ):
+            if register.negative_reserved:
+                zero = mask & (codes == 0)
+                codes[zero] = -1
+    else:
+        codes = codes.astype(np.int64, copy=False)
 
     payload = codes & (half - 1)
     qubs = (fine_mask.astype(np.int64) << (bits - 1)) | payload
-    return qubs.astype(np.uint8 if bits <= 8 else np.uint16), registers
+    return qubs.astype(np.uint8 if bits <= 8 else np.uint16)
+
+
+def encode(qt: QuantizedTensor) -> tuple[np.ndarray, FCRegisters]:
+    """Encode a quantized tensor into QUB bytes plus its FC registers."""
+    registers = FCRegisters.from_params(qt.params)
+    return _encode_codes(qt.codes, qt.subranges, registers, qt.params.bits), registers
+
+
+def encode_batch(
+    tensors: "list[QuantizedTensor] | tuple[QuantizedTensor, ...]",
+) -> tuple[list[np.ndarray], FCRegisters]:
+    """Encode several quantized tensors sharing one parameter set.
+
+    The streaming shape of the serving hot path: successive batches at the
+    same tap quantize under identical ``QUQParams``, so the FC registers
+    are derived once and every tensor's codes encode in a single fused
+    pass over their concatenation.  Returns the per-tensor QUB arrays (in
+    input order, each with its tensor's shape) plus the shared registers.
+    Raises ``ValueError`` when the parameter sets differ — mixed-parameter
+    inputs must go through :func:`encode` individually.
+    """
+    tensors = list(tensors)
+    if not tensors:
+        raise ValueError("encode_batch needs at least one tensor")
+    params = tensors[0].params
+    for qt in tensors[1:]:
+        if qt.params != params:
+            raise ValueError(
+                "encode_batch requires a shared parameter set; got "
+                f"{qt.params.describe()!r} vs {params.describe()!r}"
+            )
+    registers = FCRegisters.from_params(params)
+    codes = np.concatenate([qt.codes.reshape(-1) for qt in tensors])
+    subranges = np.concatenate([qt.subranges.reshape(-1) for qt in tensors])
+    flat = _encode_codes(codes, subranges, registers, params.bits)
+    out: list[np.ndarray] = []
+    offset = 0
+    for qt in tensors:
+        size = qt.codes.size
+        out.append(flat[offset : offset + size].reshape(qt.codes.shape))
+        offset += size
+    return out, registers
 
 
 def decode(

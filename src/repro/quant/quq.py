@@ -148,61 +148,81 @@ def quantize_with_params(x: np.ndarray, params: QUQParams) -> QuantizedTensor:
     return QuantizedTensor(params, codes, ids)
 
 
+def _fused_tables(params: QUQParams) -> tuple[float, float, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-subrange lookup tables for the fused fake-quantize kernel.
+
+    Returns ``(span_pos, span_neg, delta, lo, hi)`` where the arrays are
+    indexed by the 2-bit selector ``side * 2 + fine`` (slots: positive
+    coarse, positive fine, negative coarse, negative fine).  A side with a
+    single active subrange gets ``span = +/-inf`` so routing always (or
+    never) picks the fine slot, and the unused slot mirrors the active one
+    so NaN inputs — which fail every comparison and land in the coarse
+    slot — still propagate as NaN rather than hitting a dummy delta.  A
+    fully absent side is never selected (the side mask routes every
+    element to the active side) and holds inert values.
+    """
+
+    def side_tables(fine, coarse, negative):
+        if fine is None and coarse is None:
+            return -np.inf, (1.0, 0.0, 0.0), (1.0, 0.0, 0.0)
+
+        def entry(spec):
+            if spec is None:  # unused slot: mirror the active subrange
+                spec = fine if coarse is None else coarse
+            if negative:
+                return spec.delta, float(-spec.levels), 0.0
+            return spec.delta, 0.0, float(spec.levels - 1)
+
+        if fine is not None and coarse is not None:
+            base = fine.levels if negative else fine.levels - 1
+            span = base * fine.delta * (1.0 + 1e-6)
+        elif fine is not None:
+            span = np.inf  # fine-only: everything routes fine
+        else:
+            span = -np.inf  # coarse-only: nothing routes fine
+        return span, entry(fine), entry(coarse)
+
+    span_pos, f_pos, c_pos = side_tables(params.f_pos, params.c_pos, False)
+    span_neg, f_neg, c_neg = side_tables(params.f_neg, params.c_neg, True)
+    delta = np.array([c_pos[0], f_pos[0], c_neg[0], f_neg[0]], dtype=np.float64)
+    lo = np.array([c_pos[1], f_pos[1], c_neg[1], f_neg[1]], dtype=np.float64)
+    hi = np.array([c_pos[2], f_pos[2], c_neg[2], f_neg[2]], dtype=np.float64)
+    return span_pos, span_neg, delta, lo, hi
+
+
 def fake_quantize_with_params(x: np.ndarray, params: QUQParams) -> np.ndarray:
     """Quantize-dequantize under Eq. (3) without materializing codes.
 
-    Vectorized fast path, equivalent to
+    Fused fast path, equivalent to
     ``quantize_with_params(x, params).dequantize()`` (tested); used on the
-    inference hot path where only values matter.  Code selection (the
-    value/delta ratio and the fine/coarse routing) runs in float64 to match
-    the code path — a float32 ratio picks the adjacent code when an element
-    sits a hair from a rounding tie — and only the output is float32.
+    inference hot path where only values matter.  Instead of snapping each
+    subrange over the full tensor and blending with ``np.where`` (up to
+    four round/clamp passes), every element gathers its own
+    ``(delta, lo, hi)`` from a four-slot table via a 2-bit selector
+    (side, fine/coarse), so the divide/round/clamp/scale sequence runs
+    exactly once.  Code selection runs in float64 to match the code path —
+    a float32 ratio picks the adjacent code when an element sits a hair
+    from a rounding tie — and only the output is float32.
     """
     x = np.asarray(x, dtype=np.float64)
-    out = np.zeros(x.shape, dtype=np.float32)
-
-    def snap(values, delta, low, high):
-        return (np.clip(np.rint(values / delta), low, high) * delta).astype(
-            np.float32
-        )
+    span_pos, span_neg, delta_t, lo_t, hi_t = _fused_tables(params)
 
     has_positive = params.f_pos is not None or params.c_pos is not None
     has_negative = params.f_neg is not None or params.c_neg is not None
+    if has_positive and has_negative:
+        negative = x < 0  # zero lives in the positive code space
+    elif has_positive:
+        negative = np.zeros(x.shape, dtype=bool)  # one-sided: clamp at zero
+    else:
+        negative = np.ones(x.shape, dtype=bool)
 
-    # Positive side (owns zero when both sides exist).
-    if has_positive:
-        side = x >= 0 if has_negative else np.ones(x.shape, dtype=bool)
-        fine, coarse = params.f_pos, params.c_pos
-        if fine is not None and coarse is not None:
-            span = (fine.levels - 1) * fine.delta * (1.0 + 1e-6)
-            value = np.where(
-                x <= span,
-                snap(x, fine.delta, 0, fine.levels - 1),
-                snap(x, coarse.delta, 0, coarse.levels - 1),
-            )
-        elif fine is not None:
-            value = snap(x, fine.delta, 0, fine.levels - 1)
-        else:
-            value = snap(x, coarse.delta, 0, coarse.levels - 1)
-        out = np.where(side, value, out)
-
-    if has_negative:
-        side = x < 0 if has_positive else np.ones(x.shape, dtype=bool)
-        fine, coarse = params.f_neg, params.c_neg
-        if fine is not None and coarse is not None:
-            span = fine.levels * fine.delta * (1.0 + 1e-6)
-            value = np.where(
-                -x <= span,
-                snap(x, fine.delta, -fine.levels, 0),
-                snap(x, coarse.delta, -coarse.levels, 0),
-            )
-        elif fine is not None:
-            value = snap(x, fine.delta, -fine.levels, 0)
-        else:
-            value = snap(x, coarse.delta, -coarse.levels, 0)
-        out = np.where(side, value, out)
-
-    return out
+    magnitude = np.abs(x)
+    fine = magnitude <= np.where(negative, span_neg, span_pos)
+    selector = negative * 2 + fine
+    delta = delta_t[selector]
+    return (
+        np.clip(np.rint(x / delta), lo_t[selector], hi_t[selector]) * delta
+    ).astype(np.float32)
 
 
 class QUQQuantizer(Quantizer):

@@ -120,6 +120,9 @@ def quantizer_from_state(meta: dict, arrays: dict[str, np.ndarray]) -> Quantizer
         quantizer.params = _unpack_params(np.asarray(arrays["params"]))
     elif cls is RowwiseUniformQuantizer:
         quantizer.deltas = np.asarray(arrays["deltas"], dtype=np.float64)
+    # Marking fitted advances Quantizer.param_version, so any weight-cache
+    # entry computed against a previous incarnation of this tap can never
+    # be replayed for the restored parameters.
     quantizer.fitted = True
     return quantizer
 

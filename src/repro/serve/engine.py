@@ -163,7 +163,8 @@ class ServeEngine:
 
         Raises :class:`~repro.serve.scheduler.QueueFullError` when the
         lane's bounded queue is full (backpressure).  Only *accepted*
-        requests count toward ``requests_total`` and the queue-depth
+        requests count toward ``requests_total`` (global and per-spec,
+        like every other counter family) and the queue-depth
         distribution; rejections increment ``rejected_total`` (global and
         per-lane) instead.
         """
@@ -176,6 +177,7 @@ class ServeEngine:
             self.metrics.counter("rejected_total", labels={"spec": key.spec}).inc()
             raise
         self.metrics.counter("requests_total").inc()
+        self.metrics.counter("requests_total", labels={"spec": key.spec}).inc()
         self.metrics.distribution("queue_depth").observe(lane.scheduler.qsize())
         return request
 

@@ -66,17 +66,33 @@ class Histogram:
     """Latency histogram with exact quantiles over a bounded reservoir.
 
     Keeps up to ``max_samples`` observations; beyond that, reservoir
-    sampling (deterministic seed) keeps an unbiased subsample while count
-    and sum stay exact.  Serving runs here are small enough that the
-    reservoir is rarely exercised, so quantiles are usually exact.
+    sampling (deterministic seed) keeps an unbiased subsample while count,
+    sum, min, and max stay exact.  Serving runs here are small enough that
+    the reservoir is rarely exercised, so quantiles are usually exact too.
+
+    :meth:`snapshot` fields describe two different populations:
+
+    * ``count``/``mean``/``min``/``max`` — the **full stream** of every
+      value ever observed (since construction or the last :meth:`reset`).
+      Min and max are tracked alongside sum/count, so they are exact even
+      after reservoir eviction has dropped the extreme samples.
+    * ``p50``/``p95``/``p99`` — the **reservoir subsample** only.  Once
+      ``count`` exceeds ``max_samples`` these are unbiased estimates, not
+      exact stream quantiles.
+
+    The two populations coincide while ``count <= max_samples``.
     """
 
     def __init__(self, max_samples: int = 65536, seed: int = 0):
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
         self._samples: list[float] = []
         self._max_samples = max_samples
         self._rng = np.random.default_rng(seed)
         self._count = 0
         self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -84,6 +100,10 @@ class Histogram:
         with self._lock:
             self._count += 1
             self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
             if len(self._samples) < self._max_samples:
                 self._samples.append(value)
             else:
@@ -95,6 +115,15 @@ class Histogram:
     def count(self) -> int:
         return self._count
 
+    def reset(self) -> None:
+        """Drop all state: stream statistics and the reservoir alike."""
+        with self._lock:
+            self._samples.clear()
+            self._count = 0
+            self._sum = 0.0
+            self._min = float("inf")
+            self._max = float("-inf")
+
     def percentile(self, q: float) -> float:
         with self._lock:
             if not self._samples:
@@ -102,20 +131,31 @@ class Histogram:
             return float(np.percentile(self._samples, q))
 
     def snapshot(self) -> dict[str, float]:
+        """See the class docstring for which population each field covers:
+        count/mean/min/max are exact over the full stream; the percentiles
+        come from the reservoir subsample."""
         with self._lock:
-            if not self._samples:
+            if self._count == 0:
                 return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
                         "p50": 0.0, "p95": 0.0, "p99": 0.0}
-            data = np.asarray(self._samples)
-            p50, p95, p99 = np.percentile(data, (50, 95, 99))
+            if self._samples:
+                p50, p95, p99 = (
+                    float(p)
+                    for p in np.percentile(self._samples, (50, 95, 99))
+                )
+            else:
+                # count > 0 with an empty reservoir cannot happen through
+                # observe()/reset(); degrade to the stream mean rather
+                # than reporting quantiles of nothing as zero.
+                p50 = p95 = p99 = self._sum / self._count
             return {
                 "count": self._count,
                 "mean": round(self._sum / self._count, 4),
-                "min": round(float(data.min()), 4),
-                "max": round(float(data.max()), 4),
-                "p50": round(float(p50), 4),
-                "p95": round(float(p95), 4),
-                "p99": round(float(p99), 4),
+                "min": round(self._min, 4),
+                "max": round(self._max, 4),
+                "p50": round(p50, 4),
+                "p95": round(p95, 4),
+                "p99": round(p99, 4),
             }
 
 

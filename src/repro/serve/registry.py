@@ -391,4 +391,11 @@ class ModelRegistry:
                 "capacity": self.capacity,
                 "hit_rate": round(self.stats["hits"] / lookups, 4) if lookups else 0.0,
                 "entries": [key.spec for key in self._entries],
+                # Per-model weight-cache stats (repro.quant.observers): the
+                # hot-path optimisation that replays pre-quantized weights.
+                "weight_cache": {
+                    key.spec: servable.pipeline.weight_cache_info()
+                    for key, servable in self._entries.items()
+                    if servable.pipeline is not None
+                },
             }

@@ -1,0 +1,96 @@
+"""Tests for the hot-path latency harness (structure + attestation only).
+
+Timing assertions live in ``benchmarks/bench_hotpath.py`` where noise is
+tolerable; tier-1 only checks that the harness runs, reports the right
+shape, and that the bit-exactness attestation holds.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    HotpathConfig,
+    format_hotpath_report,
+    run_hotpath_bench,
+)
+from repro.models.vit import build_vit
+from tests.conftest import TINY_VIT
+
+
+def _tiny_factory(seed=0):
+    # The test-suite-sized model, not TINY_HOTPATH_VIT: tier-1 cares about
+    # correctness of the harness, not about representative timings.
+    return build_vit(TINY_VIT, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def report():
+    config = HotpathConfig(
+        methods=("fp32", "baseq", "quq"),
+        measured_batches=3,
+        warmup_batches=1,
+        calib_count=8,
+        batch_size=2,
+    )
+    return run_hotpath_bench(config, model_factory=_tiny_factory)
+
+
+class TestHotpathReport:
+    def test_attestation_bit_exact(self, report):
+        assert report["attestation"]["bit_exact"] is True
+        assert report["attestation"]["per_method"] == {
+            "baseq": True, "quq": True,
+        }
+        for method in ("baseq", "quq"):
+            assert report["methods"][method]["bit_exact"] is True
+
+    def test_structure_and_serializability(self, report):
+        assert report["schema_version"] == 1
+        assert set(report["methods"]) == {"fp32", "baseq", "quq"}
+        assert "calibrate_ms" not in report["methods"]["fp32"]
+        for method in ("baseq", "quq"):
+            entry = report["methods"][method]
+            assert entry["calibrate_ms"] > 0
+            assert entry["first_batch_ms"] > 0
+            for stage in ("steady", "steady_uncached"):
+                assert entry[stage]["p50_ms"] > 0
+                assert entry[stage]["p95_ms"] >= entry[stage]["p50_ms"]
+                assert entry[stage]["batches"] == 3
+            assert entry["cache_speedup"] > 0
+            assert entry["weight_cache"]["entries"] > 0
+        json.dumps(report)  # must round-trip to the BENCH_serve.json file
+
+    def test_format_report_renders(self, report):
+        text = format_hotpath_report(report)
+        assert "quq" in text and "bit-exact" in text
+        assert "PASS" in text
+
+
+class TestHotpathConfig:
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            HotpathConfig(methods=("int8",))
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError, match="measured_batches"):
+            HotpathConfig(measured_batches=0)
+        with pytest.raises(ValueError, match="warmup_batches"):
+            HotpathConfig(warmup_batches=-1)
+        with pytest.raises(ValueError, match="coverage"):
+            HotpathConfig(coverage="half")
+
+
+class TestCliWiring:
+    def test_perf_bench_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["perf-bench", "--tiny", "--methods", "fp32", "quq",
+             "--batches", "5", "--output", ""]
+        )
+        assert args.tiny is True
+        assert args.methods == ["fp32", "quq"]
+        assert args.batches == 5
+        assert args.batch_size == 2  # perf-bench's own default, not 32
+        assert args.output == ""
