@@ -1,0 +1,56 @@
+"""Pluggable serving backends for quantized inference.
+
+Two implementations of one interface (:class:`ServingBackend`):
+
+``float``
+    :class:`FloatFakeQuantBackend` — the historical path: the model's own
+    forward pass with fake-quantization simulated in float and cached
+    pre-quantized weights.
+``int``
+    :class:`IntNativeBackend` — batched integer-native execution: QUB
+    bit-packed weight storage (:class:`PackedWeightStore`), fused
+    quantize→encode activation kernels (:class:`FusedEncoder`), int64
+    GEMMs, and vectorized integer SFUs — attested bit-exact against the
+    reference :class:`repro.hw.executor.ModelExecutor` by
+    :func:`attest_int_backend`.
+
+The serve registry picks a backend per model spec (``.../int`` suffix)
+and the engine dispatches through it uniformly; see DESIGN.md for the
+selection and parity story.
+"""
+
+from .attest import attest_int_backend
+from .base import BACKEND_NAMES, ServingBackend
+from .float_backend import FloatFakeQuantBackend
+from .int_backend import IntNativeBackend
+from .kernels import FusedEncoder, decode_lut
+from .packed import PackedWeight, PackedWeightStore, iter_linear_weight_taps
+from .sfu import v_i_exp, v_i_gelu, v_i_layernorm, v_i_softmax, v_i_sqrt
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ServingBackend",
+    "FloatFakeQuantBackend",
+    "IntNativeBackend",
+    "FusedEncoder",
+    "decode_lut",
+    "PackedWeight",
+    "PackedWeightStore",
+    "iter_linear_weight_taps",
+    "attest_int_backend",
+    "make_backend",
+    "v_i_exp",
+    "v_i_gelu",
+    "v_i_layernorm",
+    "v_i_softmax",
+    "v_i_sqrt",
+]
+
+
+def make_backend(name: str, model, pipeline, bits: int | None = None) -> ServingBackend:
+    """Build the backend ``name`` (``"float"`` or ``"int"``) for a model."""
+    if name == "float":
+        return FloatFakeQuantBackend(model, pipeline)
+    if name == "int":
+        return IntNativeBackend(model, pipeline, bits=bits)
+    raise ValueError(f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")

@@ -1,0 +1,54 @@
+"""The float fake-quantization backend: today's tapped forward pass.
+
+Wraps the historical serving path — the model's own forward with the PTQ
+pipeline's tap dispatcher attached, fake-quantizing activations in float
+and replaying cached pre-quantized weights — behind the
+:class:`~repro.backend.base.ServingBackend` interface, so the registry
+and engine treat it and the integer-native backend uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from .base import ServingBackend
+
+__all__ = ["FloatFakeQuantBackend"]
+
+
+class FloatFakeQuantBackend(ServingBackend):
+    """Tapped float forward with cached fake-quantization."""
+
+    name = "float"
+
+    def __init__(self, model, pipeline):
+        self.model = model
+        self.pipeline = pipeline
+        self._batches = 0
+
+    def predict(self, images: np.ndarray, recorder=None) -> np.ndarray:
+        self._batches += 1
+        if recorder is not None and self.pipeline is not None:
+            self.pipeline.env.stats_recorder = recorder
+        try:
+            self.model.eval()
+            with no_grad():
+                return self.model(Tensor(images)).data
+        finally:
+            if recorder is not None and self.pipeline is not None:
+                self.pipeline.env.stats_recorder = None
+
+    def memory_info(self) -> dict:
+        from .packed import iter_linear_weight_taps
+
+        try:
+            float_bytes = sum(
+                layer.weight.data.nbytes for _, layer in iter_linear_weight_taps(self.model)
+            )
+        except AttributeError:  # non-ViT topologies: no packed-format peer
+            float_bytes = 0
+        return {"packed_weight_bytes": 0, "float_weight_bytes": int(float_bytes)}
+
+    def counters(self) -> dict:
+        return {"batches_total": self._batches}

@@ -1,0 +1,229 @@
+"""Integer-native serving backend: batched QUA kernels, packed weights.
+
+Runs a calibrated QUQ model the way the accelerator would — activations
+quantize through the fused four-slot kernels into shifted integers, every
+GEMM is an int64 matmul against QUB-packed weights decoded by LUT, and
+requantization is the Eq. (6)-(7) shift/scale — while staying bit-exact
+with the reference :class:`repro.hw.executor.ModelExecutor` (attested in
+:mod:`repro.backend.attest` and in the perf benchmark).
+
+Differences from the reference executor are purely mechanical:
+
+* weights are encoded and bit-packed **once** at build time
+  (:class:`~repro.backend.packed.PackedWeightStore`) instead of
+  re-encoded from float on every call — the memory story;
+* activation taps reuse precomputed :class:`~repro.backend.kernels.FusedEncoder`
+  tables instead of re-deriving registers per tensor — the latency story;
+* the integer SFU variants call the vectorized kernels of
+  :mod:`repro.backend.sfu` (exact-equal to :mod:`repro.hw.int_sfu`).
+
+The float special functions (LayerNorm / Softmax / GELU over decoded
+values) replicate the executor's expressions operation for operation, so
+``predict`` reproduces ``ModelExecutor.run`` to the last bit in both SFU
+modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import erf
+
+from ..autograd import Tensor, no_grad
+from ..quant.qmodel import PTQPipeline
+from ..quant.quq import QUQQuantizer
+from .base import ServingBackend
+from .kernels import FusedEncoder
+from .packed import PackedWeightStore
+from .sfu import v_i_gelu, v_i_layernorm, v_i_softmax
+
+__all__ = ["IntNativeBackend"]
+
+
+class IntNativeBackend(ServingBackend):
+    """Batched integer inference over a calibrated QUQ pipeline."""
+
+    name = "int"
+
+    def __init__(self, model, pipeline: PTQPipeline, bits: int | None = None,
+                 integer_sfu: bool = False):
+        if not pipeline.calibrated:
+            raise RuntimeError("pipeline must be calibrated first")
+        if pipeline.method != "quq":
+            raise ValueError("the int backend requires a QUQ-calibrated pipeline")
+        for attribute in ("patch_embed", "blocks", "cls_token", "pos_embed", "head"):
+            if getattr(model, attribute, None) is None:
+                raise ValueError(
+                    "the int backend runs ViT/DeiT models; "
+                    f"{type(model).__name__} has no {attribute!r}"
+                )
+        self.model = model
+        self.pipeline = pipeline
+        self.bits = pipeline.bits if bits is None else bits
+        self.integer_sfu = integer_sfu
+        self._prefix = model.config.name
+        self._encoders: dict[str, FusedEncoder] = {}
+        self.weights = PackedWeightStore.from_pipeline(model, pipeline, self.bits)
+        self._batches = 0
+        self._gemm_calls = 0
+        self._sfu_calls = 0
+
+    # ------------------------------------------------------------------
+    def _encoder(self, tap: str) -> FusedEncoder:
+        encoder = self._encoders.get(tap)
+        if encoder is None:
+            quantizer = self.pipeline.quantizer_for(f"{self._prefix}.{tap}")
+            if not isinstance(quantizer, QUQQuantizer):
+                raise TypeError(f"tap {tap} is not QUQ-quantized")
+            encoder = FusedEncoder(quantizer.params, self.bits)
+            self._encoders[tap] = encoder
+        return encoder
+
+    def _record(self, recorder, tap: str, values: np.ndarray) -> None:
+        if recorder is not None:
+            # Pre-quantization values, same as the float path's tap hook,
+            # so drift fingerprints compare like with like.
+            recorder.record(f"{self._prefix}.{tap}", values)
+
+    def _store_load(self, values: np.ndarray, tap: str, recorder) -> np.ndarray:
+        self._record(recorder, tap, values)
+        self._sfu_calls += 1
+        return self._encoder(tap).store_load(values)
+
+    def _linear(self, values: np.ndarray, tap_in: str, layer, recorder) -> np.ndarray:
+        shape = values.shape
+        flat = values.reshape(-1, shape[-1])
+        self._record(recorder, tap_in, flat)
+        encoder = self._encoder(tap_in)
+        weight_tap = f"{self._prefix}.{tap_in.rsplit('.', 1)[0]}.weight"
+        weight = self.weights[weight_tap]
+        acc = encoder.shifted(flat) @ weight.shifted()
+        self._gemm_calls += 1
+        out = acc.astype(np.float64) * (encoder.base_delta * weight.base_delta)
+        if layer.bias is not None:
+            out = out + layer.bias.data
+        return out.reshape(*shape[:-1], -1)
+
+    # ------------------------------------------------------------------
+    def _layernorm(self, values: np.ndarray, weight, bias) -> np.ndarray:
+        if self.integer_sfu:
+            scale = 2.0**-14
+            q = np.rint(values / scale).astype(np.int64)
+            q_out, s_out = v_i_layernorm(q, scale, weight=weight, bias=bias, out_bits=12)
+            return q_out * s_out
+        mean = values.mean(axis=-1, keepdims=True)
+        var = values.var(axis=-1, keepdims=True)
+        return (values - mean) / np.sqrt(var + 1e-6) * weight + bias
+
+    def _softmax(self, values: np.ndarray) -> np.ndarray:
+        if self.integer_sfu:
+            scale = 2.0**-10
+            q = np.rint(values / scale).astype(np.int64)
+            q_out, s_out = v_i_softmax(q, scale, out_bits=16)
+            return q_out * s_out
+        shifted = values - values.max(axis=-1, keepdims=True)
+        e = np.exp(shifted)
+        return e / e.sum(axis=-1, keepdims=True)
+
+    def _gelu(self, values: np.ndarray) -> np.ndarray:
+        if self.integer_sfu:
+            scale = 2.0**-10
+            q = np.rint(values / scale).astype(np.int64)
+            q_out, s_out = v_i_gelu(q, scale)
+            return q_out * s_out
+        return values * 0.5 * (1.0 + erf(values / np.sqrt(2.0)))
+
+    # ------------------------------------------------------------------
+    def _run_block(self, x: np.ndarray, block, index: int, recorder) -> np.ndarray:
+        attn = block.attn
+        b, n, c = x.shape
+        heads, head_dim = attn.num_heads, attn.head_dim
+        tap = f"blocks.{index}"
+
+        x = self._store_load(x, f"{tap}.block_input", recorder)
+
+        normed = self._layernorm(x, block.norm1.weight.data, block.norm1.bias.data)
+        qkv = self._linear(normed, f"{tap}.attn.qkv.input", attn.qkv, recorder)
+        qkv = qkv.reshape(b, n, 3, heads, head_dim).transpose(2, 0, 3, 1, 4)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+
+        self._record(recorder, f"{tap}.attn.q", q)
+        self._record(recorder, f"{tap}.attn.k", k)
+        enc_q = self._encoder(f"{tap}.attn.q")
+        enc_k = self._encoder(f"{tap}.attn.k")
+        acc = enc_q.shifted(q) @ np.swapaxes(enc_k.shifted(k), -1, -2)
+        self._gemm_calls += 1
+        scores = acc * (enc_q.base_delta * enc_k.base_delta) * attn.scale
+        scores = self._store_load(scores, f"{tap}.attn.scores", recorder)
+
+        probs = self._softmax(scores)
+        self._record(recorder, f"{tap}.attn.probs", probs)
+        self._record(recorder, f"{tap}.attn.v", v)
+        enc_p = self._encoder(f"{tap}.attn.probs")
+        enc_v = self._encoder(f"{tap}.attn.v")
+        ctx_acc = enc_p.shifted(probs) @ enc_v.shifted(v)
+        self._gemm_calls += 1
+        ctx = ctx_acc * (enc_p.base_delta * enc_v.base_delta)
+        ctx = ctx.transpose(0, 2, 1, 3).reshape(b, n, c)
+
+        attn_out = self._linear(ctx, f"{tap}.attn.proj.input", attn.proj, recorder)
+        attn_out = self._store_load(attn_out, f"{tap}.attn_residual", recorder)
+        x = x + attn_out
+
+        x = self._store_load(x, f"{tap}.mid_input", recorder)
+        normed = self._layernorm(x, block.norm2.weight.data, block.norm2.bias.data)
+        hidden = self._linear(normed, f"{tap}.mlp.fc1.input", block.mlp.fc1, recorder)
+        hidden = self._store_load(hidden, f"{tap}.mlp.act.input", recorder)
+        hidden = self._gelu(hidden)
+        mlp_out = self._linear(hidden, f"{tap}.mlp.fc2.input", block.mlp.fc2, recorder)
+        mlp_out = self._store_load(mlp_out, f"{tap}.mlp_residual", recorder)
+        return x + mlp_out
+
+    def predict(self, images: np.ndarray, recorder=None) -> np.ndarray:
+        """Logits for a batch; mirrors ``ModelExecutor.run`` exactly."""
+        self._batches += 1
+        model = self.model
+        batch = np.asarray(images).shape[0]
+        from ..autograd.ops import unfold_patches
+
+        with no_grad():
+            windows = unfold_patches(Tensor(images), model.patch_embed.patch_size).data
+        tokens = self._linear(
+            windows.astype(np.float64),
+            "patch_embed.proj.input",
+            model.patch_embed.proj,
+            recorder,
+        )
+
+        specials = [np.broadcast_to(model.cls_token.data, (batch, 1, tokens.shape[-1]))]
+        if model.dist_token is not None:
+            specials.append(
+                np.broadcast_to(model.dist_token.data, (batch, 1, tokens.shape[-1]))
+            )
+        tokens = np.concatenate(specials + [tokens], axis=1)
+        tokens = tokens + model.pos_embed.data
+
+        for index, block in enumerate(model.blocks):
+            tokens = self._run_block(tokens, block, index, recorder)
+
+        tokens = self._store_load(tokens, "final_norm_input", recorder)
+        mean = tokens.mean(axis=-1, keepdims=True)
+        var = tokens.var(axis=-1, keepdims=True)
+        normed = (tokens - mean) / np.sqrt(var + 1e-6)
+        normed = normed * model.norm.weight.data + model.norm.bias.data
+
+        logits = self._linear(normed[:, 0], "head.input", model.head, recorder)
+        if model.head_dist is not None:
+            dist = self._linear(normed[:, 1], "head_dist.input", model.head_dist, recorder)
+            logits = 0.5 * (logits + dist)
+        return logits
+
+    # ------------------------------------------------------------------
+    def memory_info(self) -> dict:
+        return self.weights.summary()
+
+    def counters(self) -> dict:
+        return {
+            "batches_total": self._batches,
+            "int_gemm_calls": self._gemm_calls,
+            "int_sfu_calls": self._sfu_calls,
+        }

@@ -122,6 +122,34 @@ def cmd_memory(args) -> None:
         ["model", "batch", "PQ KiB", "FQ KiB", "overhead"],
         rows, title=f"Peak on-chip memory at {args.bits}-bit",
     ))
+    if args.measured:
+        from .analysis import tiny_hotpath_model
+        from .backend import PackedWeightStore
+        from .hw.memory import measured_weight_summary
+
+        store = PackedWeightStore.from_model(tiny_hotpath_model(), args.bits)
+        summary = measured_weight_summary(store)
+        detail = [
+            [row["tap"], row["elements"], round(row["analytic_bytes"]),
+             round(row["measured_bytes"]),
+             f"{100 * row['divergence']:+.2f}%" + (" !" if row["flagged"] else "")]
+            for row in summary["rows"]
+        ]
+        print()
+        print(format_table(
+            ["weight tap", "elems", "analytic B", "measured B", "divergence"],
+            detail,
+            title=(
+                f"Measured QUB-packed weight buffers at {args.bits}-bit "
+                f"(tiny hotpath model)"
+            ),
+        ))
+        print(
+            f"total {summary['measured_bytes'] / 1024.0:.1f} KiB packed vs "
+            f"{summary['fp32_bytes'] / 1024.0:.1f} KiB fp32 "
+            f"({summary['reduction']}x); "
+            f"flagged taps: {summary['flagged'] or 'none'}"
+        )
 
 
 def cmd_inspect(args) -> None:
@@ -152,6 +180,8 @@ def cmd_serve_bench(args) -> None:
     from .serve.registry import ModelKey
 
     spec = f"{args.model}/{args.method}/{args.bits}/{args.coverage}"
+    if args.backend != "float":
+        spec = f"{spec}/{args.backend}"
     try:
         ModelKey.parse(spec)
         policy = BatchPolicy(
@@ -349,6 +379,7 @@ def cmd_perf_bench(args) -> None:
             measured_batches=args.batches,
             calib_count=args.calib_count,
             seed=seed,
+            backends=("float", "int") if args.backend == "int" else ("float",),
         )
     except ValueError as error:
         raise SystemExit(f"repro perf-bench: error: {error}")
@@ -405,6 +436,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     memory = commands.add_parser("memory", help="peak-memory table")
     memory.add_argument("--bits", type=int, default=8)
+    memory.add_argument("--measured", action="store_true",
+                        help="also print measured QUB-packed weight buffer "
+                             "sizes vs the analytic estimate")
     memory.set_defaults(fn=cmd_memory)
 
     inspect = commands.add_parser("inspect", help="QUQ parameter summary")
@@ -423,6 +457,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["baseq", "quq", "biscaled", "fqvit", "ptq4vit", "fp32"])
     serve.add_argument("--bits", type=int, default=6)
     serve.add_argument("--coverage", default="full", choices=["partial", "full"])
+    serve.add_argument("--backend", default="float", choices=["float", "int"],
+                       help="serving backend: float fake-quant forward or the "
+                            "integer-native QUB datapath (quq/full only)")
     serve.add_argument("--requests", type=int, default=256)
     serve.add_argument("--rate", type=float, default=200.0,
                        help="offered load, requests per second")
@@ -542,6 +579,9 @@ def build_parser() -> argparse.ArgumentParser:
                                "ptq4vit"])
     perf.add_argument("--bits", type=int, default=6)
     perf.add_argument("--coverage", default="full", choices=["partial", "full"])
+    perf.add_argument("--backend", default="float", choices=["float", "int"],
+                      help="'int' adds the integer-native backend section "
+                           "(gated on bit-exactness vs the reference executor)")
     perf.add_argument("--batches", type=int, default=20,
                       help="steady-state batches measured per method")
     perf.add_argument("--calib-count", type=int, default=16, dest="calib_count",

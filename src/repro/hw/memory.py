@@ -20,7 +20,15 @@ from dataclasses import dataclass, field
 
 from ..models.configs import ModelConfig, SwinConfig
 
-__all__ = ["Op", "BlockDataflow", "build_vit_block_dataflow", "peak_memory_bytes", "memory_table"]
+__all__ = [
+    "Op",
+    "BlockDataflow",
+    "build_vit_block_dataflow",
+    "peak_memory_bytes",
+    "memory_table",
+    "packed_weight_rows",
+    "measured_weight_summary",
+]
 
 _FP_BITS = 32
 
@@ -191,3 +199,62 @@ def memory_table(
                 }
             )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Measured weight memory: the analytic tables above assume b bits/element
+# flat; the integer-native backend actually materializes QUB-packed weight
+# buffers (repro.backend.packed), so the two can be cross-checked.
+
+
+def packed_weight_rows(store, tolerance: float = 0.02) -> list[dict]:
+    """Per-tensor measured vs analytic packed-weight bytes.
+
+    ``store`` is any iterable of packed weights with ``tap``, ``elements``,
+    ``bits`` and ``packed_bytes`` attributes (duck-typed so this module
+    never imports the backend package).  The analytic estimate is the
+    flat ``elements * bits / 8``; the measured figure adds bitstream
+    padding to whole bytes plus the FC register pair, so a small positive
+    excess is expected — rows diverging beyond ``tolerance`` (relative)
+    are flagged, which would indicate the packer and the paper's memory
+    model have drifted apart.
+    """
+    rows = []
+    for weight in store:
+        analytic = weight.elements * weight.bits / 8.0
+        measured = float(weight.packed_bytes)
+        divergence = (measured - analytic) / analytic if analytic else 0.0
+        rows.append(
+            {
+                "tap": weight.tap,
+                "elements": weight.elements,
+                "bits": weight.bits,
+                "analytic_bytes": analytic,
+                "measured_bytes": measured,
+                "divergence": round(divergence, 6),
+                "flagged": abs(divergence) > tolerance,
+            }
+        )
+    return rows
+
+
+def measured_weight_summary(store, tolerance: float = 0.02) -> dict:
+    """Model-level totals over :func:`packed_weight_rows`.
+
+    ``reduction`` is float32 storage over measured packed storage — the
+    number the serve benchmark's int section reports; ``flagged`` lists
+    any taps whose measurement diverges from the analytic estimate.
+    """
+    rows = packed_weight_rows(store, tolerance=tolerance)
+    analytic = sum(row["analytic_bytes"] for row in rows)
+    measured = sum(row["measured_bytes"] for row in rows)
+    fp32 = sum(row["elements"] * 4 for row in rows)
+    return {
+        "tensors": len(rows),
+        "analytic_bytes": analytic,
+        "measured_bytes": measured,
+        "fp32_bytes": fp32,
+        "reduction": round(fp32 / measured, 4) if measured else 0.0,
+        "flagged": [row["tap"] for row in rows if row["flagged"]],
+        "rows": rows,
+    }

@@ -41,6 +41,8 @@ __all__ = [
     "encode_batch",
     "decode",
     "legalize_for_hardware",
+    "pack_qub_words",
+    "unpack_qub_words",
     "MAX_SHIFT",
 ]
 
@@ -256,6 +258,52 @@ def encode_batch(
         out.append(flat[offset : offset + size].reshape(qt.codes.shape))
         offset += size
     return out, registers
+
+
+def pack_qub_words(qubs: np.ndarray, bits: int) -> np.ndarray:
+    """Pack b-bit QUB words into a dense byte buffer (MSB-first bitstream).
+
+    The storage format of the serving backend's packed weight buffers: a
+    tensor of ``n`` b-bit words occupies ``ceil(n * b / 8)`` bytes — the
+    actual memory-footprint win of sub-byte quantization, as opposed to
+    the one-word-per-``uint8``/``uint16`` layout the simulator uses for
+    indexing convenience.  Round-trips exactly through
+    :func:`unpack_qub_words` for any ``1 <= bits <= 16``.
+    """
+    if not 1 <= bits <= 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
+    words = np.asarray(qubs).reshape(-1).astype(np.uint32)
+    if words.size and int(words.max()) >> bits:
+        raise ValueError(f"QUB word exceeds {bits} bits")
+    # Explode each word into its b bits (MSB first), then pack the flat
+    # bitstream; the trailing partial byte is zero-padded by packbits.
+    shifts = np.arange(bits - 1, -1, -1, dtype=np.uint32)
+    bitstream = ((words[:, None] >> shifts) & 1).astype(np.uint8)
+    return np.packbits(bitstream.reshape(-1))
+
+
+def unpack_qub_words(buffer: np.ndarray, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_qub_words`: recover ``count`` b-bit words.
+
+    Returns ``uint8`` words for ``bits <= 8`` and ``uint16`` above —
+    matching the dtype :func:`encode` produces, so unpacked buffers feed
+    straight into :func:`decode`.
+    """
+    if not 1 <= bits <= 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    buffer = np.asarray(buffer, dtype=np.uint8)
+    needed = (count * bits + 7) // 8
+    if buffer.size < needed:
+        raise ValueError(
+            f"buffer holds {buffer.size} bytes; {needed} needed for "
+            f"{count} {bits}-bit words"
+        )
+    bitstream = np.unpackbits(buffer, count=count * bits).reshape(count, bits)
+    weights = (1 << np.arange(bits - 1, -1, -1, dtype=np.uint32))
+    words = bitstream.astype(np.uint32) @ weights
+    return words.astype(np.uint8 if bits <= 8 else np.uint16)
 
 
 def decode(

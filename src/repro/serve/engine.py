@@ -244,6 +244,14 @@ class ServeEngine:
                     raise NumericGuardError(verdict.reason)
                 logits = candidate
                 lane.breaker.record_success()
+                backend = getattr(servable, "backend", None)
+                if backend is not None and backend.name == "int":
+                    # Integer-native batches get their own counter family
+                    # so dashboards can split traffic by datapath.
+                    self.metrics.counter("int_batches_total").inc()
+                    self.metrics.counter(
+                        "int_batches_total", labels={"spec": spec}
+                    ).inc()
             except Exception as error:
                 # The quantized artifact misbehaved: count it against the
                 # breaker, then fail over to the float path for this batch

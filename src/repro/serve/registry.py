@@ -24,6 +24,7 @@ from pathlib import Path
 import numpy as np
 
 from ..autograd import Tensor, no_grad
+from ..backend import BACKEND_NAMES, make_backend
 from ..data import calibration_set, make_splits
 from ..models import MINI_CONFIGS, MINI_FOR_PAPER, get_trained_model
 from ..models.cnn import CNN_MINI
@@ -45,17 +46,24 @@ class ModelKey:
     method: str
     bits: int
     coverage: str = "full"
+    backend: str = "float"
 
     @classmethod
     def parse(cls, spec: str) -> "ModelKey":
-        """Parse ``model/method/bits[/coverage]`` (e.g. ``vit_s/quq/6``)."""
+        """Parse ``model/method/bits[/coverage[/backend]]``.
+
+        E.g. ``vit_s/quq/6`` (float fake-quant serving, the default) or
+        ``vit_s/quq/6/full/int`` (integer-native backend).
+        """
         parts = spec.strip().strip("/").split("/")
-        if len(parts) not in (3, 4):
+        if len(parts) not in (3, 4, 5):
             raise ValueError(
-                f"bad model spec {spec!r}; expected model/method/bits[/coverage]"
+                f"bad model spec {spec!r}; "
+                "expected model/method/bits[/coverage[/backend]]"
             )
         model, method, bits = parts[0], parts[1], parts[2]
-        coverage = parts[3] if len(parts) == 4 else "full"
+        coverage = parts[3] if len(parts) >= 4 else "full"
+        backend = parts[4] if len(parts) == 5 else "float"
         model = MINI_FOR_PAPER.get(model, model)
         if model not in MINI_CONFIGS and model != CNN_MINI.name:
             known = sorted(MINI_FOR_PAPER) + sorted(MINI_CONFIGS) + [CNN_MINI.name]
@@ -83,15 +91,32 @@ class ModelKey:
             )
         if coverage not in ("partial", "full"):
             raise ValueError(f"coverage must be partial|full, got {coverage!r}")
-        return cls(model, method, bits_value, coverage)
+        if backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {'|'.join(BACKEND_NAMES)}, got {backend!r}"
+            )
+        if backend == "int":
+            if method != "quq":
+                raise ValueError(
+                    f"the int backend requires method quq, got {method!r}"
+                )
+            if coverage != "full":
+                raise ValueError(
+                    "the int backend requires full coverage (every GEMM tap "
+                    f"must be quantized), got {coverage!r}"
+                )
+        return cls(model, method, bits_value, coverage, backend)
 
     @property
     def spec(self) -> str:
-        return f"{self.model}/{self.method}/{self.bits}/{self.coverage}"
+        base = f"{self.model}/{self.method}/{self.bits}/{self.coverage}"
+        # The default backend is elided so pre-backend specs round-trip.
+        return base if self.backend == "float" else f"{base}/{self.backend}"
 
     @property
     def slug(self) -> str:
-        return f"{self.model}-{self.method}-{self.bits}-{self.coverage}"
+        base = f"{self.model}-{self.method}-{self.bits}-{self.coverage}"
+        return base if self.backend == "float" else f"{base}-{self.backend}"
 
 
 class ServableModel:
@@ -105,12 +130,17 @@ class ServableModel:
         pipeline: PTQPipeline | None,
         fallback_reason: str | None = None,
         fingerprints: dict | None = None,
+        backend=None,
     ):
         self.key = key
         self.model = model
         self.fp32_top1 = fp32_top1
         self.pipeline = pipeline
         self.fallback_reason = fallback_reason
+        # Serving backend (repro.backend.ServingBackend).  None preserves
+        # the legacy inline forward path for directly-constructed
+        # servables; registry-built entries always carry one.
+        self.backend = backend
         # Calibration fingerprints (repro.quant.drift.TapFingerprint by
         # tap name) recorded when the pipeline was calibrated; the drift
         # monitor compares live traffic against them.
@@ -130,6 +160,8 @@ class ServableModel:
         the lock, so concurrent predicts never see another batch's hook.
         """
         with self._lock:
+            if self.backend is not None:
+                return self.backend.predict(images, recorder=recorder)
             if recorder is None or self.pipeline is None:
                 return self._forward(images)
             self.pipeline.env.stats_recorder = recorder
@@ -240,10 +272,17 @@ class ModelRegistry:
         except Exception:
             return None  # fingerprinting is observability, never a blocker
 
+    def _make_backend(self, key: ModelKey, model, pipeline):
+        """Serving backend for an entry (int packs weights at build time)."""
+        return make_backend(key.backend, model, pipeline, bits=key.bits)
+
     def _build(self, key: ModelKey) -> ServableModel:
         model, fp32 = self._load_model(key)
         if key.method == "fp32":
-            return ServableModel(key, model, fp32, pipeline=None)
+            return ServableModel(
+                key, model, fp32, pipeline=None,
+                backend=make_backend("float", model, None),
+            )
         try:
             pipeline = PTQPipeline(
                 model, method=key.method, bits=key.bits, coverage=key.coverage
@@ -264,6 +303,7 @@ class ModelRegistry:
                     return ServableModel(
                         key, model, fp32, pipeline,
                         fingerprints=self._fingerprints_for(pipeline),
+                        backend=self._make_backend(key, model, pipeline),
                     )
                 except ChecksumError:
                     # Corrupt (or unverifiable) artifact: reject it and fall
@@ -283,12 +323,16 @@ class ModelRegistry:
             return ServableModel(
                 key, model, fp32, pipeline,
                 fingerprints=self._fingerprints_for(pipeline),
+                backend=self._make_backend(key, model, pipeline),
             )
         except Exception as error:  # degrade to float rather than failing
             self.stats["fallbacks"] += 1
             model.set_tap_dispatcher(None)
             reason = f"{type(error).__name__}: {error}"
-            return ServableModel(key, model, fp32, None, fallback_reason=reason)
+            return ServableModel(
+                key, model, fp32, None, fallback_reason=reason,
+                backend=make_backend("float", model, None),
+            )
 
     # ------------------------------------------------------------------
     def get(self, spec: str | ModelKey) -> ServableModel:
@@ -348,7 +392,12 @@ class ModelRegistry:
         from ..quant.drift import fingerprint_pipeline
 
         fingerprints = fingerprint_pipeline(pipeline, np.asarray(calib_images))
-        return ServableModel(key, model, fp32, pipeline, fingerprints=fingerprints)
+        # A fresh backend per shadow build: for the int backend this is
+        # what re-packs the QUB weight buffers under the new calibration.
+        return ServableModel(
+            key, model, fp32, pipeline, fingerprints=fingerprints,
+            backend=self._make_backend(key, model, pipeline),
+        )
 
     def swap(self, key: ModelKey, servable: ServableModel, persist: bool = True) -> None:
         """Atomically install ``servable`` as the cache entry for ``key``.
@@ -397,5 +446,12 @@ class ModelRegistry:
                     key.spec: servable.pipeline.weight_cache_info()
                     for key, servable in self._entries.items()
                     if servable.pipeline is not None
+                },
+                # Per-model serving backend: name, packed/float weight
+                # bytes, and the backend's own batch/kernel counters.
+                "backends": {
+                    key.spec: servable.backend.describe()
+                    for key, servable in self._entries.items()
+                    if servable.backend is not None
                 },
             }

@@ -1,0 +1,130 @@
+"""Exact-equality parity: vectorized int SFU kernels vs the references.
+
+The vectorized kernels in :mod:`repro.backend.sfu` claim *integer
+equality* with :mod:`repro.hw.int_sfu` — same algorithm, sequential
+bottlenecks removed — so every test here uses ``assert_array_equal``,
+never a tolerance.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend import v_i_exp, v_i_gelu, v_i_layernorm, v_i_softmax, v_i_sqrt
+from repro.hw.int_sfu import i_exp, i_gelu, i_layernorm, i_softmax, i_sqrt
+
+SCALES = (2.0**-4, 2.0**-6, 2.0**-8, 2.0**-10)
+
+
+class TestVISqrt:
+    def test_exact_over_small_range(self):
+        n = np.arange(0, 5000)
+        np.testing.assert_array_equal(v_i_sqrt(n), i_sqrt(n))
+
+    @given(st.integers(0, 2**52 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_property_floor_sqrt(self, n):
+        root = int(v_i_sqrt(np.array([n]))[0])
+        assert root * root <= n < (root + 1) * (root + 1)
+
+    def test_exact_around_perfect_squares(self):
+        roots = np.array([1, 2, 255, 4096, 2**26 - 1], dtype=np.int64)
+        squares = roots * roots
+        for n in np.concatenate([squares - 1, squares, squares + 1]):
+            if n >= 0:
+                np.testing.assert_array_equal(
+                    v_i_sqrt(np.array([n])), i_sqrt(np.array([n]))
+                )
+
+    def test_falls_back_above_float_exact_limit(self):
+        n = np.array([2**60], dtype=np.int64)
+        np.testing.assert_array_equal(v_i_sqrt(n), i_sqrt(n))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            v_i_sqrt(np.array([-1]))
+
+
+class TestVIExp:
+    @pytest.mark.parametrize("scale", SCALES)
+    def test_equals_reference(self, rng, scale):
+        x = -np.abs(rng.normal(size=500)) * 6
+        q = np.rint(x / scale).astype(np.int64)
+        q_v, s_v = v_i_exp(q, scale)
+        q_r, s_r = i_exp(q, scale)
+        np.testing.assert_array_equal(q_v, q_r)
+        assert s_v == s_r
+
+    def test_rejects_positive(self):
+        with pytest.raises(ValueError):
+            v_i_exp(np.array([1]), 0.01)
+
+
+class TestVISoftmax:
+    @pytest.mark.parametrize("scale", SCALES)
+    def test_equals_reference(self, rng, scale):
+        x = rng.normal(size=(8, 32)) * 4
+        q = np.rint(x / scale).astype(np.int64)
+        q_v, s_v = v_i_softmax(q, scale, out_bits=16)
+        q_r, s_r = i_softmax(q, scale, out_bits=16)
+        np.testing.assert_array_equal(q_v, q_r)
+        assert s_v == s_r
+
+    def test_equals_reference_other_axis_and_width(self, rng):
+        q = np.rint(rng.normal(size=(3, 5, 7)) / 2.0**-8).astype(np.int64)
+        q_v, _ = v_i_softmax(q, 2.0**-8, axis=1, out_bits=8)
+        q_r, _ = i_softmax(q, 2.0**-8, axis=1, out_bits=8)
+        np.testing.assert_array_equal(q_v, q_r)
+
+
+class TestVIGelu:
+    @pytest.mark.parametrize("scale", SCALES)
+    def test_equals_reference(self, rng, scale):
+        x = rng.normal(size=1000) * 3
+        q = np.rint(x / scale).astype(np.int64)
+        q_v, s_v = v_i_gelu(q, scale)
+        q_r, s_r = i_gelu(q, scale)
+        np.testing.assert_array_equal(q_v, q_r)
+        assert s_v == s_r
+
+    def test_equals_reference_at_saturation(self):
+        scale = 2.0**-10
+        q = np.rint(np.array([12.0, -12.0, 0.0]) / scale).astype(np.int64)
+        q_v, _ = v_i_gelu(q, scale)
+        q_r, _ = i_gelu(q, scale)
+        np.testing.assert_array_equal(q_v, q_r)
+
+
+class TestVILayerNorm:
+    @pytest.mark.parametrize("scale", (2.0**-14, 2.0**-10))
+    def test_equals_reference(self, rng, scale):
+        x = rng.normal(size=(16, 64)) * 3 + 2
+        q = np.rint(x / scale).astype(np.int64)
+        q_v, s_v = v_i_layernorm(q, scale, out_bits=12)
+        q_r, s_r = i_layernorm(q, scale, out_bits=12)
+        np.testing.assert_array_equal(q_v, q_r)
+        assert s_v == s_r
+
+    def test_equals_reference_with_affine(self, rng):
+        x = rng.normal(size=(4, 32))
+        weight = rng.uniform(0.5, 1.5, size=32)
+        bias = rng.normal(size=32)
+        scale = 2.0**-14
+        q = np.rint(x / scale).astype(np.int64)
+        q_v, _ = v_i_layernorm(q, scale, weight=weight, bias=bias, out_bits=12)
+        q_r, _ = i_layernorm(q, scale, weight=weight, bias=bias, out_bits=12)
+        np.testing.assert_array_equal(q_v, q_r)
+
+    @given(
+        rows=st.lists(
+            st.lists(st.integers(-(2**20), 2**20), min_size=4, max_size=4),
+            min_size=1, max_size=8,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_equals_reference(self, rows):
+        q = np.asarray(rows, dtype=np.int64)
+        q_v, _ = v_i_layernorm(q, 2.0**-10, out_bits=8)
+        q_r, _ = i_layernorm(q, 2.0**-10, out_bits=8)
+        np.testing.assert_array_equal(q_v, q_r)
