@@ -1,0 +1,381 @@
+"""Trace-driven scale benchmark: overload behavior under flash crowds.
+
+Replays a seeded :mod:`repro.serve.traces` trace — diurnal baseline, a
+flash crowd at a configured multiple of steady load, heavy-tailed tenant
+mix — open-loop against a serving engine, and audits the outcome the way
+a capacity review would:
+
+* **availability** of *admitted* requests (completed / admitted) against
+  a floor: admission control exists so that the requests the system
+  accepts, it answers;
+* **tail latency** (p50 / p99 / p99.9 over exact client-side samples,
+  not reservoir estimates) against a bound — shedding is pointless if
+  the survivors still time out;
+* **shed accounting**: every refused request carries a typed reason
+  (``shed`` / ``rate_limited`` / ``breaker_open`` / ``queue_full``), and
+  the ledger must balance exactly — offered = admitted + rejected,
+  admitted = completed + failed — the zero-silent-drop attestation;
+* **per-tenant fairness**: each tenant's admitted share is compared to
+  its fair-queue weight; a bounded ratio and zero starved tenants are
+  required for a pass;
+* **shard-loss recovery** (cluster engines): a worker shard is SIGKILLed
+  mid-trace and the run must finish without deadlock or silent loss.
+
+Exposed as ``python -m repro scale-bench``; the ``--tiny`` mode is fully
+self-contained (random tiny ViT, synthetic calibration) for CI smoke.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..serve.registry import ModelKey
+from ..serve.scheduler import QueueFullError
+from ..serve.traces import TraceConfig, generate_trace, tenant_mix, trace_stats
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ScaleBenchConfig",
+    "tiny_scale_servable",
+    "run_scale_benchmark",
+    "format_scale_report",
+]
+
+#: Schema version of the report dict (bump on breaking layout changes).
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class ScaleBenchConfig:
+    """One scale run: the trace to replay and the bars to clear."""
+
+    spec: str = "vit_s/quq/6"
+    trace: TraceConfig = field(default_factory=TraceConfig)
+    availability_floor: float = 0.99  # of admitted requests
+    p999_bound_ms: float | None = None  # None: 2x the lane timeout
+    fairness_ratio: float = 2.0  # admitted share within this factor of weight
+    kill_shard_at: float | None = 0.5  # trace fraction; None disables the kill
+    watchdog_every: int = 25  # sweep idle-crashed shards every N arrivals
+    settle_s: float = 10.0  # drain budget after the last arrival
+
+    def __post_init__(self):
+        if not 0.0 <= self.availability_floor <= 1.0:
+            raise ValueError("availability_floor must be within [0, 1]")
+        if self.p999_bound_ms is not None and self.p999_bound_ms <= 0:
+            raise ValueError("p999_bound_ms must be > 0")
+        if self.fairness_ratio < 1.0:
+            raise ValueError("fairness_ratio must be >= 1")
+        if self.kill_shard_at is not None and not 0.0 <= self.kill_shard_at <= 1.0:
+            raise ValueError("kill_shard_at is a fraction of the trace duration")
+        if self.watchdog_every < 1 or self.settle_s <= 0:
+            raise ValueError("watchdog_every must be >= 1 and settle_s > 0")
+
+
+def tiny_scale_servable(seed: int = 0, bits: int = 6):
+    """A self-contained quantized servable for smoke runs.
+
+    Random tiny ViT calibrated on synthetic images — overload dynamics
+    (queueing, shedding, fairness) do not depend on trained weights, so
+    the smoke benchmark skips the zoo entirely.  Built in the parent and
+    shared with forked shard workers copy-on-write, so shard spawn is
+    instant.
+    """
+    from ..models.configs import ModelConfig
+    from ..models.vit import build_vit
+    from ..quant.qmodel import PTQPipeline
+
+    config = ModelConfig("scale_tiny_vit", "vit", 16, 4, 3, 10, 32, 2, 2)
+    model = build_vit(config, seed=seed)
+    rng = np.random.default_rng(seed)
+    calib = rng.standard_normal((16, 16, 16, 3)).astype(np.float32)
+    pipeline = PTQPipeline(model, method="quq", bits=bits, coverage="full")
+    pipeline.calibrate(calib)
+    from ..serve.registry import ServableModel
+
+    return ServableModel(ModelKey.parse(f"vit_s/quq/{bits}"), model, 0.0, pipeline)
+
+
+def _classify_rejection(error: BaseException) -> str:
+    """Map a submit-time refusal to its metrics reason label."""
+    if isinstance(error, QueueFullError):
+        return "queue_full"
+    reason = getattr(error, "reason", None)
+    return reason if isinstance(reason, str) else "queue_full"
+
+
+def run_scale_benchmark(engine, config: ScaleBenchConfig | None = None) -> dict:
+    """Replay the trace against ``engine``; return the audit report.
+
+    ``engine`` is a :class:`~repro.serve.engine.ServeEngine` or
+    :class:`~repro.serve.cluster.ClusterEngine` (the shard-kill step only
+    runs when the engine exposes ``kill_shard``).  Fair-queue weights are
+    read from the engine's admission policy when one is attached.
+    """
+    config = ScaleBenchConfig() if config is None else config
+    key = ModelKey.parse(config.spec)
+    trace = generate_trace(config.trace)
+    stats = trace_stats(trace, config.trace)
+    mix = tenant_mix(config.trace)
+
+    engine.warm(key)
+    # A modest pool of distinct synthetic images, cycled across arrivals.
+    size = getattr(getattr(engine, "cluster", None), "image_hw", None)
+    if size is None:
+        from ..serve.loadgen import _image_size
+
+        size = _image_size(key)
+    rng = np.random.default_rng(config.trace.seed)
+    pool = rng.standard_normal((128, size, size, 3)).astype(np.float32)
+
+    weights = {}
+    if getattr(engine, "admission", None) is not None:
+        weights = dict(engine.admission.policy.tenant_weights)
+    total_weight = sum(weights.values()) or None
+
+    kill_at = None
+    if config.kill_shard_at is not None and hasattr(engine, "kill_shard"):
+        kill_at = config.kill_shard_at * config.trace.duration_s
+    killed_pid = None
+
+    per_tenant = {
+        name: {"offered": 0, "admitted": 0, "completed": 0} for name in mix
+    }
+    rejections = {reason: 0 for reason in
+                  ("queue_full", "shed", "rate_limited", "breaker_open")}
+    handles: list[tuple] = []
+    offered = admitted = 0
+    start = time.monotonic()
+    for index, event in enumerate(trace):
+        delay = (start + event.at_s) - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        if kill_at is not None and event.at_s >= kill_at:
+            try:
+                killed_pid = engine.kill_shard(key, 0)
+            except Exception:
+                killed_pid = -1  # already down; supervision owns it
+            kill_at = None
+        tenant = per_tenant.setdefault(
+            event.tenant, {"offered": 0, "admitted": 0, "completed": 0}
+        )
+        offered += 1
+        tenant["offered"] += 1
+        try:
+            handle = engine.submit(key, pool[index % len(pool)], tenant=event.tenant)
+        except Exception as error:
+            reason = _classify_rejection(error)
+            rejections[reason] = rejections.get(reason, 0) + 1
+            continue
+        admitted += 1
+        tenant["admitted"] += 1
+        handles.append((event.tenant, handle))
+        if index % config.watchdog_every == 0:
+            engine.check_watchdog()
+
+    # Settle: keep supervising while in-flight work drains.
+    settle_deadline = time.monotonic() + config.settle_s
+    drained = False
+    while time.monotonic() < settle_deadline:
+        engine.check_watchdog()
+        if engine.drain(timeout=0.25):
+            drained = True
+            break
+
+    completed = failed = nonfinite_served = 0
+    latencies_ms: list[float] = []
+    wait_budget = max(5.0, 2.0 * engine.policy.timeout_ms / 1000.0)
+    for tenant_name, handle in handles:
+        try:
+            result = handle.result(timeout=wait_budget)
+        except Exception:
+            failed += 1
+            continue
+        completed += 1
+        per_tenant[tenant_name]["completed"] += 1
+        if handle.completed_at is not None:
+            latencies_ms.append((handle.completed_at - handle.enqueued_at) * 1e3)
+        if not np.isfinite(result.logits).all() or (
+            np.abs(result.logits).max() > engine.guard.saturation_limit
+        ):
+            nonfinite_served += 1
+
+    # ------------------------------------------------------------------
+    # Fairness: each tenant's share of admissions vs its fair-queue weight.
+    fairness = {}
+    fairness_ok = True
+    for name, row in sorted(per_tenant.items()):
+        if row["offered"] == 0:
+            continue
+        share = row["admitted"] / admitted if admitted else 0.0
+        if total_weight:
+            weight = weights.get(name, 0.0) / total_weight
+        else:
+            weight = mix.get(name, 1.0 / max(1, len(mix)))
+        offered_share = row["offered"] / offered if offered else 0.0
+        ratio = share / weight if weight > 0 else 0.0
+        starved = row["admitted"] == 0
+        # Over-service is bounded for everyone; under-service is only a
+        # violation for tenants that actually demanded their entitlement.
+        over = ratio > config.fairness_ratio + 1e-9
+        under = (
+            offered_share >= weight
+            and ratio < 1.0 / config.fairness_ratio - 1e-9
+        )
+        ok = not (starved or over or under)
+        fairness_ok = fairness_ok and ok
+        fairness[name] = {
+            **row,
+            "weight_share": round(weight, 4),
+            "offered_share": round(offered_share, 4),
+            "admitted_share": round(share, 4),
+            "ratio_to_weight": round(ratio, 3),
+            "starved": starved,
+            "ok": ok,
+        }
+
+    rejected = sum(rejections.values())
+    resolved = sum(1 for _, h in handles if h.done())
+    ledger_ok = (offered == admitted + rejected) and (
+        admitted == completed + failed
+    ) and resolved == admitted
+    availability = completed / admitted if admitted else 0.0
+    shed_rate = rejections.get("shed", 0) / offered if offered else 0.0
+
+    lat = np.asarray(latencies_ms) if latencies_ms else np.zeros(1)
+    p50, p99, p999 = (float(np.percentile(lat, q)) for q in (50, 99, 99.9))
+    p999_bound = (
+        config.p999_bound_ms
+        if config.p999_bound_ms is not None
+        else 2.0 * engine.policy.timeout_ms
+    )
+
+    snapshot = engine.snapshot()
+    counters = snapshot["counters"]
+    deadlock_free = drained and all(h.done() for _, h in handles)
+    recovery = {
+        "shard_kill_requested": config.kill_shard_at is not None
+        and hasattr(engine, "kill_shard"),
+        "killed_pid": killed_pid,
+        "reroutes_total": counters.get("reroutes_total", 0),
+        "shard_restarts_total": counters.get("shard_restarts_total", 0),
+        "watchdog_restarts_total": counters.get("watchdog_restarts_total", 0),
+    }
+    recovery_ok = (not recovery["shard_kill_requested"]) or (
+        killed_pid is not None
+        and recovery["shard_restarts_total"] > 0
+        and deadlock_free
+    )
+
+    passed = (
+        availability >= config.availability_floor
+        and p999 <= p999_bound
+        and ledger_ok
+        and fairness_ok
+        and nonfinite_served == 0
+        and deadlock_free
+        and recovery_ok
+    )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "spec": key.spec,
+        "seed": config.trace.seed,
+        "trace": stats,
+        "offered": offered,
+        "admitted": admitted,
+        "completed": completed,
+        "failed": failed,
+        "rejected": rejected,
+        "rejections": rejections,
+        "availability": round(availability, 4),
+        "availability_floor": config.availability_floor,
+        "shed_rate": round(shed_rate, 4),
+        "latency_ms": {
+            "p50": round(p50, 2),
+            "p99": round(p99, 2),
+            "p999": round(p999, 2),
+            "bound_p999": round(p999_bound, 2),
+            "samples": len(latencies_ms),
+        },
+        "tenants": fairness,
+        "fairness_ratio_bound": config.fairness_ratio,
+        "fairness_ok": fairness_ok,
+        "no_silent_drop": ledger_ok,
+        "nonfinite_served": nonfinite_served,
+        "deadlock_free": deadlock_free,
+        "recovery": recovery,
+        "recovery_ok": recovery_ok,
+        "admission": snapshot.get("admission", {}),
+        "passed": passed,
+        "snapshot": snapshot,
+    }
+
+
+def format_scale_report(report: dict) -> str:
+    """Human-readable rendering of a scale benchmark report."""
+    from .reporting import format_table
+
+    verdict = "PASS" if report["passed"] else "FAIL"
+    trace = report["trace"]
+    sections = [
+        format_table(
+            ["spec", "offered", "admitted", "completed", "failed", "rejected",
+             "availability", "floor", "shed rate", "verdict"],
+            [[report["spec"], report["offered"], report["admitted"],
+              report["completed"], report["failed"], report["rejected"],
+              report["availability"], report["availability_floor"],
+              report["shed_rate"], verdict]],
+            title=(
+                f"Scale benchmark (seed {report['seed']}, flash "
+                f"{trace['flash_over_steady']}x steady)"
+            ),
+        ),
+        format_table(
+            ["p50 ms", "p99 ms", "p99.9 ms", "p99.9 bound", "samples"],
+            [[report["latency_ms"]["p50"], report["latency_ms"]["p99"],
+              report["latency_ms"]["p999"], report["latency_ms"]["bound_p999"],
+              report["latency_ms"]["samples"]]],
+            title="Admitted-request latency",
+        ),
+        format_table(
+            ["reason", "count"],
+            sorted(report["rejections"].items()),
+            title="Typed rejections",
+        ),
+        format_table(
+            ["tenant", "offered", "admitted", "weight", "share", "ratio",
+             "starved", "ok"],
+            [[name, row["offered"], row["admitted"], row["weight_share"],
+              row["admitted_share"], row["ratio_to_weight"], row["starved"],
+              row["ok"]]
+             for name, row in sorted(report["tenants"].items())],
+            title="Per-tenant fairness",
+        ),
+    ]
+    recovery = report["recovery"]
+    if recovery["shard_kill_requested"]:
+        sections.append(format_table(
+            ["killed pid", "shard restarts", "reroutes", "watchdog restarts",
+             "recovered"],
+            [[recovery["killed_pid"], recovery["shard_restarts_total"],
+              recovery["reroutes_total"], recovery["watchdog_restarts_total"],
+              report["recovery_ok"]]],
+            title="Shard-loss recovery",
+        ))
+    checks = format_table(
+        ["check", "ok"],
+        [["availability >= floor",
+          report["availability"] >= report["availability_floor"]],
+         ["p99.9 bounded",
+          report["latency_ms"]["p999"] <= report["latency_ms"]["bound_p999"]],
+         ["no silent drop", report["no_silent_drop"]],
+         ["fairness", report["fairness_ok"]],
+         ["no non-finite served", report["nonfinite_served"] == 0],
+         ["deadlock free", report["deadlock_free"]],
+         ["shard-loss recovery", report["recovery_ok"]]],
+        title="Gates",
+    )
+    sections.append(checks)
+    return "\n\n".join(sections)

@@ -13,6 +13,7 @@ Commands
 ``fault-sweep``    bit-fault injection sweep over the QUA datapath
 ``corruption-sweep``  SynthShapes-C robustness grid + drift recovery curve
 ``perf-bench``     hot-path latency: calibrate/first-batch/steady per method
+``scale-bench``    flash-crowd trace vs sharded cluster + admission control
 
 Model-dependent commands share ``--seed`` (calibration/val sampling) and
 ``--batch-size`` (inference batch size) so runs are reproducible from the
@@ -408,6 +409,84 @@ def cmd_perf_bench(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_scale_bench(args) -> None:
+    import json
+
+    from .analysis.scale import (
+        ScaleBenchConfig,
+        format_scale_report,
+        run_scale_benchmark,
+        tiny_scale_servable,
+    )
+    from .resilience import ResiliencePolicy
+    from .serve import AdmissionController, AdmissionPolicy, BatchPolicy
+    from .serve.cluster import ClusterEngine, ClusterPolicy
+    from .serve.loadgen import _image_size
+    from .serve.registry import ModelKey
+    from .serve.traces import TraceConfig, tenant_mix
+
+    seed = 0 if args.seed is None else args.seed
+    try:
+        key = ModelKey.parse(args.spec)
+        trace = TraceConfig(
+            duration_s=args.duration,
+            base_rate=args.rate,
+            seed=seed,
+            flash_multiplier=args.flash_multiplier,
+            tenants=args.tenants,
+        )
+        config = ScaleBenchConfig(
+            spec=key.spec,
+            trace=trace,
+            availability_floor=args.floor,
+            kill_shard_at=None if args.no_kill else 0.5,
+        )
+        policy = BatchPolicy(
+            max_batch_size=args.max_batch,
+            max_wait_ms=3.0,
+            max_queue=args.queue,
+            timeout_ms=args.timeout_ms,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro scale-bench: error: {error}")
+    # Fair-queue weights mirror the trace's offered mix: every tenant is
+    # entitled to the capacity share its long-run demand represents.
+    admission = AdmissionController(AdmissionPolicy(
+        tenant_weights=tenant_mix(trace),
+        rate_limit_rps=args.rate_limit,
+    ))
+    if args.tiny:
+        # Self-contained: a random tiny ViT calibrated on synthetic
+        # images, built once in the parent and shared with the forked
+        # shard workers copy-on-write (instant shard spawn, no zoo).
+        servable = tiny_scale_servable(seed=seed)
+        loader = lambda spec: servable  # noqa: E731
+        image_hw = 16
+    else:
+        loader = None  # each shard builds its own registry entry
+        image_hw = _image_size(key)
+    cluster = ClusterPolicy(shards=args.shards, image_hw=image_hw)
+    engine = ClusterEngine(
+        loader=loader,
+        policy=policy,
+        cluster=cluster,
+        resilience=ResiliencePolicy(watchdog_stall_s=1.0),
+        admission=admission,
+    )
+    with engine:
+        report = run_scale_benchmark(engine, config)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_scale_report(report))
+    if not report["passed"]:
+        raise SystemExit(1)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     commands = parser.add_subparsers(dest="command", required=True)
@@ -592,6 +671,47 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the raw report as JSON")
     _add_repro_flags(perf)
     perf.set_defaults(fn=cmd_perf_bench, batch_size=2)
+
+    scale = commands.add_parser(
+        "scale-bench",
+        help="flash-crowd trace against the sharded cluster with admission "
+             "control (availability, tail latency, shed rate, fairness)",
+    )
+    scale.add_argument("--tiny", action="store_true",
+                       help="self-contained tiny ViT servable shared with the "
+                            "shards copy-on-write (no zoo; CI smoke)")
+    scale.add_argument("--spec", default="vit_s/quq/6",
+                       help="model spec to serve (ignored weights when --tiny)")
+    scale.add_argument("--duration", type=float, default=6.0,
+                       help="trace length in seconds")
+    scale.add_argument("--rate", type=float, default=600.0,
+                       help="steady-state offered load, requests/s")
+    scale.add_argument("--flash-multiplier", type=float, default=4.0,
+                       dest="flash_multiplier",
+                       help="flash-crowd multiple of the steady rate")
+    scale.add_argument("--tenants", type=int, default=4,
+                       help="tenants in the heavy-tailed request mix")
+    scale.add_argument("--shards", type=int, default=2,
+                       help="worker processes per model")
+    scale.add_argument("--max-batch", type=int, default=8, dest="max_batch")
+    scale.add_argument("--queue", type=int, default=64,
+                       help="bounded queue capacity per lane")
+    scale.add_argument("--timeout-ms", type=float, default=2000.0,
+                       dest="timeout_ms")
+    scale.add_argument("--rate-limit", type=float, default=None,
+                       dest="rate_limit",
+                       help="token-bucket admitted-rate cap, requests/s "
+                            "(default: no rate limit)")
+    scale.add_argument("--floor", type=float, default=0.99,
+                       help="availability floor over admitted requests")
+    scale.add_argument("--no-kill", action="store_true",
+                       help="skip the mid-trace shard kill")
+    scale.add_argument("--output", default="",
+                       help="write the JSON report here ('' to skip)")
+    scale.add_argument("--json", action="store_true",
+                       help="print the raw report as JSON")
+    _add_repro_flags(scale)
+    scale.set_defaults(fn=cmd_scale_bench)
     return parser
 
 

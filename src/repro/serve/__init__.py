@@ -16,6 +16,15 @@ Turns the offline reproduction into a request-serving system:
 * :mod:`repro.serve.drift` — activation-drift monitoring and online
   recalibration (fingerprint compare -> shadow recalibrate -> canary ->
   atomic swap).
+* :mod:`repro.serve.admission` — admission control in front of submit:
+  token-bucket rate limits, queue/p99-derived load shedding, weighted
+  fair queuing with starvation guards, and a degrade ladder.
+* :mod:`repro.serve.cluster` — sharded multi-process serving: replica
+  worker processes per model over shared-memory rings, supervised
+  (health checks, restarts, in-flight re-routing) by the parent.
+* :mod:`repro.serve.traces` — seeded traffic traces (diurnal cycles,
+  flash crowds, heavy-tailed tenant mixes) for the scale benchmark
+  (``python -m repro scale-bench``).
 """
 
 from .metrics import Counter, Distribution, Histogram, Metrics
@@ -29,7 +38,18 @@ from .scheduler import (
     ServeRequest,
 )
 from .registry import ModelKey, ModelRegistry, ServableModel
+from .admission import (
+    REJECT_REASONS,
+    AdmissionController,
+    AdmissionError,
+    AdmissionPolicy,
+    BreakerOpenError,
+    RateLimitedError,
+    ShedError,
+)
 from .engine import ServeEngine, ServeResult
+from .cluster import ClusterEngine, ClusterPolicy
+from .traces import TraceConfig, TraceEvent, generate_trace, tenant_mix, trace_stats
 from .loadgen import format_snapshot, run_serve_benchmark, synthetic_requests
 
 __all__ = [
@@ -51,6 +71,20 @@ __all__ = [
     "DriftOutcome",
     "DriftPolicy",
     "RecalibrationManager",
+    "REJECT_REASONS",
+    "AdmissionController",
+    "AdmissionError",
+    "AdmissionPolicy",
+    "BreakerOpenError",
+    "RateLimitedError",
+    "ShedError",
+    "ClusterEngine",
+    "ClusterPolicy",
+    "TraceConfig",
+    "TraceEvent",
+    "generate_trace",
+    "tenant_mix",
+    "trace_stats",
     "format_snapshot",
     "run_serve_benchmark",
     "synthetic_requests",

@@ -1,0 +1,913 @@
+"""Sharded multi-process serving: replica worker pools over shared memory.
+
+The single-process :class:`~repro.serve.engine.ServeEngine` executes
+batches on threads inside the serving process, which caps it at one GIL
+and couples every model replica to the same address space: a crashed or
+wedged replica is a crashed server.  :class:`ClusterEngine` moves batch
+execution into *shard* processes — N replicas per ``ModelKey``, each a
+forked worker owning its own copy of the servable — and keeps the
+process-level concerns in the parent:
+
+* **zero-copy hand-off** — each shard owns a ring of fixed-size slots in
+  a :mod:`multiprocessing.shared_memory` segment; the parent writes the
+  coalesced batch straight into the slot's image region and flips a
+  status word, the shard reads the same mapped pages (no pickling, no
+  pipe copy) and writes logits back into the slot's output region;
+* **supervision** — shards heartbeat through a control word; a dispatch
+  that sees the heartbeat go silent past ``watchdog_stall_s`` (or the
+  process die) kills and respawns the shard and **re-routes the
+  in-flight batch** to the replacement, bounded by ``max_redispatch``;
+  :meth:`check_watchdog` additionally restarts shards that crash while
+  idle, reusing the watchdog/backoff idioms of :mod:`repro.resilience`;
+* **the same defense stack as the thread engine** — per-lane circuit
+  breaker over the quantized path, numeric guard scan on every batch of
+  logits, admission control (degrade ladder forces the float mode),
+  deterministic fault injection (``stall`` faults are delivered *into*
+  the shard through the slot header, so the worker genuinely stops
+  heartbeating), and the identical metrics counter families, so the
+  chaos-soak harness audits a process topology with unchanged code.
+
+Slot protocol (all header words are aligned int64; single-writer
+ownership alternates on the status word, which is written last on x86's
+total-store-order — the parent never touches a slot the shard owns and
+vice versa):
+
+====== =============================================================
+status owner / meaning
+====== =============================================================
+0      EMPTY — parent may fill
+1      REQ   — shard executes (``len``, ``mode``, ``stall_ns`` valid)
+2      RES   — parent collects logits (``classes``, ``quant`` valid)
+3      ERR   — parent collects the UTF-8 error message (``msg_len``)
+====== =============================================================
+
+The fork start method is required: shard workers inherit the loader
+callable and the shared-memory views by address-space copy, so any
+closure (e.g. one returning a pre-built in-memory servable) is a valid
+loader without being picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+
+from ..resilience import ResiliencePolicy
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.faults import BATCH_EXCEPTION, STALL, FaultPlan
+from ..resilience.guards import NumericGuard, NumericGuardError
+from .admission import AdmissionController, LaneView
+from .engine import ServeResult
+from .metrics import Metrics
+from .registry import ModelKey
+from .scheduler import Batch, BatchPolicy, MicroBatchScheduler, QueueFullError, ServeRequest
+
+__all__ = ["ClusterPolicy", "ClusterEngine", "default_shard_loader"]
+
+# Slot status words (see the protocol table in the module docstring).
+EMPTY, REQ, RES, ERR = 0, 1, 2, 3
+# Execution modes the parent requests.
+MODE_QUANT, MODE_FLOAT = 0, 1
+# Header word indices.
+H_STATUS, H_LEN, H_CLASSES, H_MODE, H_STALL_NS, H_QUANT, H_MSG_LEN, H_SEQ = range(8)
+HEADER_WORDS = 8
+# Control word indices (one control block per shard segment).
+C_HEARTBEAT, C_READY, C_STOP = 0, 1, 2
+CTRL_WORDS = 4
+MSG_BYTES = 512  # UTF-8 error message region per slot
+
+READY_OK, READY_FAILED = 1, -1
+
+
+def default_shard_loader(spec: str):
+    """Build a servable inside the shard via a fresh :class:`ModelRegistry`.
+
+    Each shard process loads (or warm-starts from the serialized
+    quantizer state on disk) its own replica — the production-shaped
+    path.  Tests and benchmarks usually pass a closure over a pre-built
+    servable instead, which fork shares copy-on-write for instant spawn.
+    """
+    from .registry import ModelRegistry
+
+    return ModelRegistry().get(spec)
+
+
+class ClusterPolicy:
+    """Shape and supervision tunables for the shard pool."""
+
+    def __init__(
+        self,
+        shards: int = 2,
+        ring_slots: int = 2,
+        image_hw: int = 16,
+        channels: int = 3,
+        max_classes: int = 64,
+        ready_timeout_s: float = 120.0,
+        poll_s: float = 0.0005,
+        max_redispatch: int = 3,
+    ):
+        if shards < 1 or ring_slots < 1:
+            raise ValueError("shards and ring_slots must be >= 1")
+        if image_hw < 1 or channels < 1 or max_classes < 1:
+            raise ValueError("image_hw, channels, max_classes must be >= 1")
+        if ready_timeout_s <= 0 or poll_s <= 0 or max_redispatch < 0:
+            raise ValueError(
+                "ready_timeout_s and poll_s must be > 0, max_redispatch >= 0"
+            )
+        self.shards = shards
+        self.ring_slots = ring_slots
+        self.image_hw = image_hw
+        self.channels = channels
+        self.max_classes = max_classes
+        self.ready_timeout_s = ready_timeout_s
+        self.poll_s = poll_s
+        self.max_redispatch = max_redispatch
+
+
+class _RingViews:
+    """NumPy views over one shard's shared-memory segment.
+
+    Built in the parent; the shard inherits the same object through fork,
+    so both sides address identical mapped pages.  Holding ``shm`` here
+    keeps the mapping alive on both sides of the fork.
+    """
+
+    def __init__(self, shm, slots: int, max_batch: int, image_shape, max_classes: int):
+        self.shm = shm
+        self.slots = slots
+        self.max_batch = max_batch
+        self.image_shape = tuple(image_shape)
+        self.max_classes = max_classes
+        buf = shm.buf
+        offset = 0
+
+        def carve(dtype, shape):
+            nonlocal offset
+            arr = np.ndarray(shape, dtype=dtype, buffer=buf, offset=offset)
+            offset += arr.nbytes
+            # Keep every region 8-byte aligned so int64 header words stay
+            # on natural boundaries (atomic aligned stores on x86/arm64).
+            offset = (offset + 7) & ~7
+            return arr
+
+        self.ctrl = carve(np.int64, (CTRL_WORDS,))
+        self.hdr = carve(np.int64, (slots, HEADER_WORDS))
+        self.msg = carve(np.uint8, (slots, MSG_BYTES))
+        self.images = carve(np.float32, (slots, max_batch) + self.image_shape)
+        self.logits = carve(np.float32, (slots, max_batch, max_classes))
+        self.nbytes = offset
+
+    @classmethod
+    def required_bytes(cls, slots, max_batch, image_shape, max_classes) -> int:
+        words = CTRL_WORDS + slots * HEADER_WORDS
+        per_slot = (
+            MSG_BYTES
+            + 4 * max_batch * int(np.prod(image_shape))
+            + 4 * max_batch * max_classes
+        )
+        # Alignment padding upper bound: 8 bytes per carved region.
+        return words * 8 + slots * per_slot + 8 * (4 + 2 * slots)
+
+    def write_error(self, slot: int, message: str) -> None:
+        data = message.encode("utf-8", errors="replace")[:MSG_BYTES]
+        self.msg[slot][: len(data)] = np.frombuffer(data, dtype=np.uint8)
+        self.hdr[slot][H_MSG_LEN] = len(data)
+
+    def read_error(self, slot: int) -> str:
+        length = int(self.hdr[slot][H_MSG_LEN])
+        return bytes(self.msg[slot][:length]).decode("utf-8", errors="replace")
+
+
+def _shard_main(spec: str, loader, views: _RingViews, poll_s: float) -> None:
+    """Shard process body: load one replica, then serve the slot ring.
+
+    Single-threaded by design — the heartbeat stops the moment the worker
+    blocks (an injected ``stall_ns`` sleep, a wedged predict), which is
+    precisely the signal the parent's supervision keys on.
+    """
+    # The parent supervises shards; a Ctrl-C on the terminal must not
+    # race it by killing workers directly.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    ctrl, hdr = views.ctrl, views.hdr
+    try:
+        servable = loader(spec)
+    except BaseException as error:  # report, then exit: the parent re-raises
+        views.write_error(0, f"{type(error).__name__}: {error}")
+        ctrl[C_READY] = READY_FAILED
+        return
+    ctrl[C_READY] = READY_OK
+    slot = 0
+    while not ctrl[C_STOP]:
+        row = hdr[slot]
+        if row[H_STATUS] != REQ:
+            ctrl[C_HEARTBEAT] += 1
+            time.sleep(poll_s)
+            continue
+        stall_ns = int(row[H_STALL_NS])
+        if stall_ns > 0:
+            # Injected stall: sleep without heartbeating so the parent's
+            # staleness detector sees a genuinely silent shard.
+            time.sleep(stall_ns / 1e9)
+        ctrl[C_HEARTBEAT] += 1
+        n = int(row[H_LEN])
+        mode = int(row[H_MODE])
+        # Zero-copy input: predict consumes the shared mapping directly;
+        # the parent does not reuse the slot until the status word flips.
+        images = views.images[slot][:n]
+        try:
+            if mode == MODE_FLOAT:
+                logits = servable.predict_float(images)
+                quantized = False
+            else:
+                logits = servable.predict(images)
+                quantized = bool(servable.quantized)
+            logits = np.asarray(logits, dtype=np.float32)
+            if logits.ndim != 2 or logits.shape[0] != n:
+                raise ValueError(f"model returned logits of shape {logits.shape}")
+            classes = min(logits.shape[1], views.max_classes)
+            views.logits[slot][:n, :classes] = logits[:, :classes]
+            row[H_CLASSES] = classes
+            row[H_QUANT] = int(quantized)
+            row[H_STATUS] = RES
+        except BaseException as error:
+            views.write_error(slot, f"{type(error).__name__}: {error}")
+            row[H_STATUS] = ERR
+        ctrl[C_HEARTBEAT] += 1
+        slot = (slot + 1) % views.slots
+
+
+class _Shard:
+    """Parent-side handle: process + segment + dispatch bookkeeping."""
+
+    def __init__(self, index: int, process, shm, views: _RingViews):
+        self.index = index
+        self.process = process
+        self.shm = shm
+        self.views = views
+        self.seq = 0  # batches dispatched; seq % slots is the next slot
+        self.restarts = 0
+        self.lock = threading.Lock()  # held by whoever operates the shard
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def destroy(self) -> None:
+        """Kill the process and release the segment (idempotent)."""
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=1.0)
+        try:
+            self.shm.close()
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class _ClusterLane:
+    """Per-model-spec queue, shard pool, breaker, and in-flight ledger."""
+
+    def __init__(self, key: ModelKey, scheduler: MicroBatchScheduler,
+                 breaker: CircuitBreaker, shards: int):
+        self.key = key
+        self.scheduler = scheduler
+        self.breaker = breaker
+        self.shards: list[_Shard | None] = [None] * shards
+        self.threads: list[threading.Thread] = []
+        self.in_flight = 0
+        self.active: list[Batch] = []
+        self.reroutes = 0
+        self.restarts = 0  # shard restarts, stall + crash combined
+        self.force_float_until = 0.0
+        self.lock = threading.Lock()
+
+    def degraded(self, now: float) -> bool:
+        with self.lock:
+            return now < self.force_float_until
+
+    def degrade(self, until: float) -> None:
+        with self.lock:
+            self.force_float_until = max(self.force_float_until, until)
+
+
+class _RegistryView:
+    """Duck-typed registry facade over the shard pools.
+
+    The chaos-soak harness (and the loadgen snapshot formatter) expect an
+    ``engine.registry`` with ``invalidate`` and a ``snapshot()["entries"]``
+    listing; a cluster has no in-process model cache, so this reports the
+    lanes whose shard pools are live.
+    """
+
+    def __init__(self, engine: "ClusterEngine"):
+        self._engine = engine
+
+    def invalidate(self, spec) -> bool:
+        """Rolling restart of the spec's shards (the cluster analogue of
+        dropping a cached entry: replicas reload from disk)."""
+        return self._engine.restart_lane(spec)
+
+    def snapshot(self) -> dict:
+        return self._engine.registry_snapshot()
+
+
+class ClusterEngine:
+    """Sharded multi-process counterpart of :class:`ServeEngine`.
+
+    Exposes the same operational surface (``warm`` / ``submit`` /
+    ``check_watchdog`` / ``drain`` / ``stop`` / ``snapshot``, plus
+    ``policy``, ``guard`` and a ``registry`` facade) so the load
+    generator, the admission controller, and the chaos-soak harness run
+    against either topology unchanged.
+    """
+
+    def __init__(
+        self,
+        loader=None,
+        policy: BatchPolicy | None = None,
+        cluster: ClusterPolicy | None = None,
+        metrics: Metrics | None = None,
+        clock=time.monotonic,
+        resilience: ResiliencePolicy | None = None,
+        faults: FaultPlan | None = None,
+        admission: AdmissionController | None = None,
+    ):
+        self.loader = default_shard_loader if loader is None else loader
+        self.policy = BatchPolicy() if policy is None else policy
+        self.cluster = ClusterPolicy() if cluster is None else cluster
+        self.metrics = Metrics() if metrics is None else metrics
+        self.clock = clock
+        self.resilience = ResiliencePolicy() if resilience is None else resilience
+        self.faults = faults
+        self.admission = admission
+        if admission is not None:
+            admission.attach_latency_probe(
+                lambda: self.metrics.histogram("e2e_latency_ms").percentile(99)
+            )
+        self.guard = NumericGuard(saturation_limit=self.resilience.guard_saturation)
+        self.registry = _RegistryView(self)
+        self._ctx = multiprocessing.get_context("fork")
+        self._lanes: dict[ModelKey, _ClusterLane] = {}
+        self._lock = threading.Lock()
+        self._stopping = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Shard lifecycle
+    def _spawn_shard(self, lane: _ClusterLane, index: int) -> _Shard:
+        from multiprocessing import shared_memory
+
+        shape = (self.cluster.image_hw, self.cluster.image_hw, self.cluster.channels)
+        size = _RingViews.required_bytes(
+            self.cluster.ring_slots, self.policy.max_batch_size,
+            shape, self.cluster.max_classes,
+        )
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        views = _RingViews(
+            shm, self.cluster.ring_slots, self.policy.max_batch_size,
+            shape, self.cluster.max_classes,
+        )
+        views.ctrl[:] = 0
+        views.hdr[:] = 0
+        process = self._ctx.Process(
+            target=_shard_main,
+            args=(lane.key.spec, self.loader, views, self.cluster.poll_s),
+            name=f"shard-{lane.key.slug}-{index}",
+            daemon=True,
+        )
+        process.start()
+        return _Shard(index, process, shm, views)
+
+    def _await_ready(self, shard: _Shard) -> None:
+        deadline = time.monotonic() + self.cluster.ready_timeout_s
+        while time.monotonic() < deadline:
+            state = int(shard.views.ctrl[C_READY])
+            if state == READY_OK:
+                return
+            if state == READY_FAILED or not shard.alive():
+                message = shard.views.read_error(0) or "shard died during load"
+                shard.destroy()
+                raise RuntimeError(
+                    f"shard {shard.index} for {shard.process.name} failed to "
+                    f"load: {message}"
+                )
+            time.sleep(self.cluster.poll_s)
+        shard.destroy()
+        raise TimeoutError(
+            f"shard {shard.index} not ready within {self.cluster.ready_timeout_s}s"
+        )
+
+    def _restart_shard(self, lane: _ClusterLane, index: int, reason: str) -> _Shard:
+        """Kill (if needed) and respawn one shard; counts the restart.
+
+        ``reason`` is ``"stall"`` (heartbeat went silent — the watchdog
+        family, so chaos-soak recovery evidence holds across topologies)
+        or ``"crash"`` (process died).
+        """
+        spec = lane.key.spec
+        old = lane.shards[index]
+        if old is not None:
+            old.destroy()
+        shard = self._spawn_shard(lane, index)
+        self._await_ready(shard)
+        shard.restarts = (old.restarts + 1) if old is not None else 1
+        with lane.lock:
+            lane.shards[index] = shard
+            lane.restarts += 1
+        self.metrics.counter("shard_restarts_total").inc()
+        self.metrics.counter("shard_restarts_total", labels={"spec": spec}).inc()
+        if reason == "stall":
+            self.metrics.counter("watchdog_restarts_total").inc()
+            self.metrics.counter(
+                "watchdog_restarts_total", labels={"spec": spec}
+            ).inc()
+        else:
+            self.metrics.counter("shard_crashes_total").inc()
+            self.metrics.counter("shard_crashes_total", labels={"spec": spec}).inc()
+        return shard
+
+    def kill_shard(self, spec: str | ModelKey, index: int = 0) -> int:
+        """SIGKILL one shard process (chaos/testing hook); returns the pid.
+
+        Supervision takes it from there: the dispatch thread (or
+        :meth:`check_watchdog` if the shard was idle) respawns the shard
+        and re-routes whatever batch was in flight on it.
+        """
+        key = ModelKey.parse(spec) if isinstance(spec, str) else spec
+        with self._lock:
+            lane = self._lanes[key]
+        with lane.lock:
+            shard = lane.shards[index]
+        if shard is None or not shard.alive():
+            raise RuntimeError(f"shard {index} of {key.spec} is not running")
+        pid = shard.pid
+        os.kill(pid, signal.SIGKILL)
+        return pid
+
+    def restart_lane(self, spec: str | ModelKey) -> bool:
+        """Rolling restart of every idle shard in a lane (registry
+        ``invalidate`` analogue — replicas reload their artifacts)."""
+        key = ModelKey.parse(spec) if isinstance(spec, str) else spec
+        with self._lock:
+            lane = self._lanes.get(key)
+        if lane is None:
+            return False
+        restarted = False
+        for index in range(len(lane.shards)):
+            with lane.lock:
+                shard = lane.shards[index]
+            if shard is None:
+                continue
+            if shard.lock.acquire(blocking=False):  # skip busy shards
+                try:
+                    self._restart_shard(lane, index, reason="crash")
+                    restarted = True
+                finally:
+                    shard.lock.release()
+        return restarted
+
+    # ------------------------------------------------------------------
+    # Lane lifecycle
+    def _lane(self, key: ModelKey) -> _ClusterLane:
+        with self._lock:
+            if self._stopping:
+                raise RuntimeError("cluster engine is stopped")
+            lane = self._lanes.get(key)
+            if lane is not None:
+                return lane
+            lane = _ClusterLane(
+                key,
+                MicroBatchScheduler(
+                    self.policy, clock=self.clock,
+                    on_expire=lambda _req, spec=key.spec: self._count_rejection(
+                        spec, "timeout"
+                    ),
+                ),
+                CircuitBreaker(
+                    failure_threshold=self.resilience.breaker_failures,
+                    cooldown_s=self.resilience.breaker_cooldown_s,
+                    clock=self.clock,
+                ),
+                shards=self.cluster.shards,
+            )
+            self._lanes[key] = lane
+        for index in range(self.cluster.shards):
+            shard = self._spawn_shard(lane, index)
+            self._await_ready(shard)
+            with lane.lock:
+                lane.shards[index] = shard
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                args=(lane, index),
+                name=f"dispatch-{key.slug}-{index}",
+                daemon=True,
+            )
+            lane.threads.append(thread)
+            thread.start()
+        return lane
+
+    def warm(self, spec: str | ModelKey) -> None:
+        """Spawn (and block until ready) the spec's shard pool."""
+        key = ModelKey.parse(spec) if isinstance(spec, str) else spec
+        self._lane(key)
+
+    # ------------------------------------------------------------------
+    # Submission (same admission + metrics contract as ServeEngine)
+    def _count_rejection(self, spec: str, reason: str) -> None:
+        self.metrics.counter("rejected_total").inc()
+        self.metrics.counter("rejected_total", labels={"spec": spec}).inc()
+        self.metrics.counter("rejections_total", labels={"reason": reason}).inc()
+        self.metrics.counter(
+            "rejections_total", labels={"reason": reason, "spec": spec}
+        ).inc()
+
+    def submit(
+        self, spec: str | ModelKey, image: np.ndarray, tenant: str = "default"
+    ) -> ServeRequest:
+        """Enqueue one image onto the spec's lane (see
+        :meth:`ServeEngine.submit` for the admission/rejection contract)."""
+        key = ModelKey.parse(spec) if isinstance(spec, str) else spec
+        lane = self._lane(key)
+        image = np.asarray(image, dtype=np.float32)
+        expected = (self.cluster.image_hw, self.cluster.image_hw, self.cluster.channels)
+        if image.shape != expected:
+            raise ValueError(
+                f"image shape {image.shape} does not fit the cluster's shared "
+                f"rings (expected {expected}; set ClusterPolicy.image_hw)"
+            )
+        if self.admission is not None:
+            now = self.clock()
+            decision = self.admission.decide(
+                tenant,
+                LaneView(
+                    queue_depth=lane.scheduler.qsize(),
+                    queue_capacity=self.policy.max_queue,
+                    breaker_state=lane.breaker.state,
+                ),
+                now=now,
+            )
+            if not decision.admitted:
+                self._count_rejection(key.spec, decision.reason)
+                raise decision.error
+            if decision.force_float:
+                lane.degrade(now + self.admission.policy.degrade_hold_s)
+        try:
+            request = lane.scheduler.submit(image)
+        except QueueFullError:
+            self._count_rejection(key.spec, "queue_full")
+            raise
+        self.metrics.counter("requests_total").inc()
+        self.metrics.counter("requests_total", labels={"spec": key.spec}).inc()
+        self.metrics.distribution("queue_depth").observe(lane.scheduler.qsize())
+        return request
+
+    # ------------------------------------------------------------------
+    # Dispatch: one parent thread per shard owns its batches end-to-end
+    def _dispatch_loop(self, lane: _ClusterLane, index: int) -> None:
+        while not self._stopping:
+            with lane.lock:
+                idle = lane.in_flight == 0
+            batch = lane.scheduler.wait_for_batch(timeout=0.1, idle=idle)
+            if batch is None:
+                continue
+            with lane.lock:
+                lane.in_flight += 1
+                lane.active.append(batch)
+            try:
+                self._run_batch(lane, index, batch)
+            finally:
+                with lane.lock:
+                    lane.in_flight -= 1
+                    if batch in lane.active:
+                        lane.active.remove(batch)
+
+    def _dispatch(self, shard: _Shard, batch: Batch, mode: int, stall_ns: int):
+        """Write the batch into the shard's next slot and await the verdict.
+
+        Returns ``("ok", logits, quantized)``, ``("error", message)``, or
+        ``("lost", reason)`` — the latter when the shard died or went
+        silent past the stall threshold, meaning the batch must be
+        re-routed to a replacement shard.
+        """
+        views = shard.views
+        slot = shard.seq % views.slots
+        shard.seq += 1
+        row = views.hdr[slot]
+        if int(row[H_STATUS]) != EMPTY:
+            # The previous incarnation died mid-protocol; reclaim the slot.
+            row[H_STATUS] = EMPTY
+        n = len(batch)
+        views.images[slot][:n] = batch.images
+        row[H_LEN] = n
+        row[H_MODE] = mode
+        row[H_STALL_NS] = stall_ns
+        row[H_SEQ] = shard.seq
+        row[H_STATUS] = REQ  # ownership hand-off: written last
+        stall_after = self.resilience.watchdog_stall_s
+        last_beat = int(views.ctrl[C_HEARTBEAT])
+        last_change = time.monotonic()
+        while True:
+            status = int(row[H_STATUS])
+            if status == RES:
+                classes = int(row[H_CLASSES])
+                logits = np.array(views.logits[slot][:n, :classes])
+                quantized = bool(row[H_QUANT])
+                row[H_STATUS] = EMPTY
+                return ("ok", logits, quantized)
+            if status == ERR:
+                message = views.read_error(slot)
+                row[H_STATUS] = EMPTY
+                return ("error", message)
+            if not shard.alive():
+                return ("lost", "crash")
+            beat = int(views.ctrl[C_HEARTBEAT])
+            if beat != last_beat:
+                last_beat = beat
+                last_change = time.monotonic()
+            elif time.monotonic() - last_change >= stall_after:
+                return ("lost", "stall")
+            if self._stopping:
+                return ("error", "cluster engine stopped mid-batch")
+            time.sleep(self.cluster.poll_s)
+
+    def _fail_batch(self, lane: _ClusterLane, batch: Batch, error: BaseException) -> None:
+        spec = lane.key.spec
+        if isinstance(error, NumericGuardError):
+            self.metrics.counter("guard_trips_total").inc()
+            self.metrics.counter("guard_trips_total", labels={"spec": spec}).inc()
+        self.metrics.counter("errors_total").inc()
+        self.metrics.counter("errors_total", labels={"spec": spec}).inc()
+        now = self.clock()
+        for request in batch.requests:
+            request.set_exception(error, now=now)
+
+    def _run_batch(self, lane: _ClusterLane, index: int, batch: Batch) -> None:
+        spec = lane.key.spec
+        started = self.clock()
+        # Injected stall: delivered into the shard through the slot header
+        # so the worker process itself goes silent (no parent-side sleep).
+        stall_ns = 0
+        if self.faults is not None:
+            window = self.faults.fire(STALL, site=spec)
+            if window is not None:
+                stall_ns = int(window.stall_s * 1e9)
+        degraded = lane.degraded(started)
+        if degraded:
+            self.metrics.counter("degraded_batches_total").inc()
+            self.metrics.counter("degraded_batches_total", labels={"spec": spec}).inc()
+        quantized_path = not degraded and lane.breaker.allow()
+        mode = MODE_QUANT if quantized_path else MODE_FLOAT
+        attempts = 0
+        while True:
+            if self._stopping:
+                self._fail_batch(
+                    lane, batch, RuntimeError("cluster engine stopped mid-batch")
+                )
+                return
+            with lane.lock:
+                shard = lane.shards[index]
+            with shard.lock:
+                if not shard.alive():
+                    try:
+                        shard = self._restart_shard(lane, index, reason="crash")
+                    except Exception as error:
+                        self._fail_batch(lane, batch, error)
+                        return
+                if mode == MODE_QUANT and self.faults is not None:
+                    try:
+                        self.faults.raise_if(BATCH_EXCEPTION, site=spec)
+                    except Exception:
+                        # Injected quantized-path failure: breaker + failover
+                        # to float, identical to the thread engine.
+                        lane.breaker.record_failure()
+                        self.metrics.counter("failovers_total").inc()
+                        self.metrics.counter(
+                            "failovers_total", labels={"spec": spec}
+                        ).inc()
+                        mode = MODE_FLOAT
+                        continue
+                outcome = self._dispatch(shard, batch, mode, stall_ns)
+                if outcome[0] == "lost":
+                    # Respawn under the same shard lock as the dispatch so
+                    # check_watchdog cannot race us into a double restart.
+                    try:
+                        self._restart_shard(lane, index, reason=outcome[1])
+                    except Exception as error:
+                        self._fail_batch(lane, batch, error)
+                        return
+            stall_ns = 0  # an injected stall fires at most once per batch
+            kind = outcome[0]
+            if kind == "lost":
+                attempts += 1
+                if attempts > self.cluster.max_redispatch:
+                    self._fail_batch(lane, batch, RuntimeError(
+                        f"batch abandoned after {attempts} shard losses "
+                        f"(last: {outcome[1]})"
+                    ))
+                    return
+                with lane.lock:
+                    lane.reroutes += 1
+                self.metrics.counter("reroutes_total").inc()
+                self.metrics.counter("reroutes_total", labels={"spec": spec}).inc()
+                continue
+            if kind == "error":
+                message = outcome[1]
+                if mode == MODE_QUANT:
+                    lane.breaker.record_failure()
+                    self.metrics.counter("failovers_total").inc()
+                    self.metrics.counter("failovers_total", labels={"spec": spec}).inc()
+                    mode = MODE_FLOAT
+                    continue
+                self._fail_batch(lane, batch, RuntimeError(f"shard error: {message}"))
+                return
+            _, logits, quantized = outcome
+            if mode == MODE_QUANT and self.faults is not None:
+                logits = self.faults.corrupt_logits(logits, site=spec)
+            verdict = self.guard.scan(logits)
+            if not verdict.ok:
+                if mode == MODE_QUANT:
+                    lane.breaker.record_failure()
+                    self.metrics.counter("failovers_total").inc()
+                    self.metrics.counter("failovers_total", labels={"spec": spec}).inc()
+                    self.metrics.counter("guard_trips_total").inc()
+                    self.metrics.counter("guard_trips_total", labels={"spec": spec}).inc()
+                    mode = MODE_FLOAT
+                    continue
+                self._fail_batch(lane, batch, NumericGuardError(verdict.reason))
+                return
+            if mode == MODE_QUANT:
+                lane.breaker.record_success()
+            self._complete_batch(lane, batch, logits, quantized and mode == MODE_QUANT, started)
+            return
+
+    def _complete_batch(
+        self, lane, batch: Batch, logits: np.ndarray, quantized: bool, started: float
+    ) -> None:
+        finished = self.clock()
+        self.metrics.counter("batches_total").inc()
+        self.metrics.distribution("batch_size").observe(len(batch))
+        self.metrics.histogram("exec_latency_ms").observe((finished - started) * 1e3)
+        labels = logits.argmax(axis=-1)
+        for request, label, row in zip(batch.requests, labels, logits):
+            self.metrics.histogram("queue_wait_ms").observe(
+                (batch.created_at - request.enqueued_at) * 1e3
+            )
+            self.metrics.histogram("e2e_latency_ms").observe(
+                (finished - request.enqueued_at) * 1e3
+            )
+            self.metrics.counter("responses_total").inc()
+            request.set_result(
+                ServeResult(int(label), row, len(batch), quantized), now=finished
+            )
+
+    # ------------------------------------------------------------------
+    # Supervision, observability, shutdown
+    def check_watchdog(self, now: float | None = None) -> list[str]:
+        """Respawn shards that died while idle; returns affected specs.
+
+        Busy shards are supervised inline by their dispatch thread (which
+        also re-routes the in-flight batch); this sweep catches crashes
+        that happen between batches, so a lane never waits for the next
+        batch to discover it is down a replica.
+        """
+        with self._lock:
+            if self._stopping:
+                return []
+            lanes = list(self._lanes.values())
+        restarted = []
+        for lane in lanes:
+            for index in range(len(lane.shards)):
+                with lane.lock:
+                    shard = lane.shards[index]
+                if shard is None or shard.alive():
+                    continue
+                if not shard.lock.acquire(blocking=False):
+                    continue  # its dispatch thread is already handling it
+                try:
+                    self._restart_shard(lane, index, reason="crash")
+                    restarted.append(lane.key.spec)
+                except Exception:
+                    pass  # the dispatch thread will retry on next batch
+                finally:
+                    shard.lock.release()
+        return restarted
+
+    def registry_snapshot(self) -> dict:
+        with self._lock:
+            lanes = list(self._lanes.values())
+        shards = {}
+        for lane in lanes:
+            with lane.lock:
+                shards[lane.key.spec] = [
+                    {
+                        "alive": s.alive() if s is not None else False,
+                        "pid": s.pid if s is not None else None,
+                        "restarts": s.restarts if s is not None else 0,
+                    }
+                    for s in lane.shards
+                ]
+        return {
+            "entries": [lane.key.spec for lane in lanes],
+            "shards": shards,
+            "size": len(lanes),
+        }
+
+    def snapshot(self) -> dict:
+        """Consistent metrics + lane + shard view (same shape as
+        :meth:`ServeEngine.snapshot`, with per-shard health added)."""
+        lane_views: dict[str, dict] = {}
+        with self._lock:
+            for lane in self._lanes.values():
+                with lane.lock:
+                    stats = lane.scheduler.stats()
+                    lane_views[lane.key.spec] = {
+                        **stats,
+                        "breaker": lane.breaker.snapshot(),
+                        "watchdog_restarts": lane.restarts,
+                        "in_flight": lane.in_flight,
+                        "reroutes": lane.reroutes,
+                        "degraded": self.clock() < lane.force_float_until,
+                        "shards": [
+                            {
+                                "alive": s.alive() if s is not None else False,
+                                "pid": s.pid if s is not None else None,
+                                "restarts": s.restarts if s is not None else 0,
+                            }
+                            for s in lane.shards
+                        ],
+                    }
+        timeouts = sum(view["timed_out"] for view in lane_views.values())
+        extra = {
+            "registry": self.registry_snapshot(),
+            "drift": {},
+            "lanes": lane_views,
+            "timeouts_total": timeouts,
+        }
+        if self.admission is not None:
+            extra["admission"] = self.admission.snapshot()
+        return self.metrics.snapshot(extra=extra)
+
+    def drain(self, timeout: float = 30.0, wall_cap: float | None = None) -> bool:
+        deadline = self.clock() + timeout
+        wall_deadline = time.monotonic() + (timeout if wall_cap is None else wall_cap)
+        while self.clock() < deadline and time.monotonic() < wall_deadline:
+            with self._lock:
+                lanes = list(self._lanes.values())
+            busy = any(
+                lane.scheduler.qsize() > 0 or lane.in_flight > 0 for lane in lanes
+            )
+            if not busy:
+                return True
+            time.sleep(0.002)
+        return False
+
+    def stop(self) -> None:
+        self._stopping = True
+        with self._lock:
+            # Idempotent: the segments are unmapped on the first stop, so a
+            # second pass must not touch any (now dangling) ring view.
+            if self._stopped:
+                return
+            self._stopped = True
+            lanes = list(self._lanes.values())
+        if self.faults is not None:
+            self.faults.release_stalls()
+        for lane in lanes:
+            lane.scheduler.close()
+        for lane in lanes:
+            for thread in lane.threads:
+                thread.join(timeout=5.0)
+        for lane in lanes:
+            with lane.lock:
+                shards = [s for s in lane.shards if s is not None]
+                lane.shards = [None] * len(lane.shards)
+            for shard in shards:
+                if shard.alive():
+                    shard.views.ctrl[C_STOP] = 1
+            for shard in shards:
+                shard.process.join(timeout=1.0)
+                shard.destroy()
+            with lane.lock:
+                pending = [r for b in lane.active for r in b.requests]
+            for request in pending:
+                if not request.done():
+                    request.set_exception(
+                        RuntimeError("cluster engine stopped before batch completed")
+                    )
+
+    def __enter__(self) -> "ClusterEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

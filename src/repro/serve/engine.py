@@ -48,6 +48,7 @@ from ..resilience.breaker import CircuitBreaker
 from ..resilience.faults import BATCH_EXCEPTION, FaultPlan
 from ..resilience.guards import NumericGuard, NumericGuardError
 from ..resilience.watchdog import WorkerWatchdog
+from .admission import AdmissionController, LaneView
 from .drift import DriftPolicy, RecalibrationManager
 from .metrics import Metrics
 from .registry import ModelKey, ModelRegistry
@@ -78,7 +79,16 @@ class _Lane:
         self.in_flight = 0
         self.active: list[Batch] = []  # batches currently executing
         self.restarts = 0  # watchdog-spawned replacement workers
+        self.force_float_until = 0.0  # admission degrade: serve float until then
         self.lock = threading.Lock()
+
+    def degraded(self, now: float) -> bool:
+        with self.lock:
+            return now < self.force_float_until
+
+    def degrade(self, until: float) -> None:
+        with self.lock:
+            self.force_float_until = max(self.force_float_until, until)
 
 
 class ServeEngine:
@@ -94,6 +104,7 @@ class ServeEngine:
         resilience: ResiliencePolicy | None = None,
         faults: FaultPlan | None = None,
         drift: DriftPolicy | RecalibrationManager | None = None,
+        admission: AdmissionController | None = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -114,6 +125,15 @@ class ServeEngine:
                 self.registry, drift, metrics=self.metrics, clock=clock
             )
         self.drift = drift
+        # Admission control is opt-in; when present every submit passes
+        # through its degrade ladder before touching the lane queue.  The
+        # p99 probe is wired here so latency-derived shedding reads the
+        # engine's own end-to-end histogram.
+        self.admission = admission
+        if admission is not None:
+            admission.attach_latency_probe(
+                lambda: self.metrics.histogram("e2e_latency_ms").percentile(99)
+            )
         self.guard = NumericGuard(saturation_limit=self.resilience.guard_saturation)
         self.watchdog = WorkerWatchdog(
             stall_after_s=self.resilience.watchdog_stall_s, clock=clock
@@ -131,7 +151,12 @@ class ServeEngine:
             if lane is None:
                 lane = _Lane(
                     key,
-                    MicroBatchScheduler(self.policy, clock=self.clock),
+                    MicroBatchScheduler(
+                        self.policy, clock=self.clock,
+                        on_expire=lambda _req, spec=key.spec: self._count_rejection(
+                            spec, "timeout"
+                        ),
+                    ),
                     CircuitBreaker(
                         failure_threshold=self.resilience.breaker_failures,
                         cooldown_s=self.resilience.breaker_cooldown_s,
@@ -158,23 +183,54 @@ class ServeEngine:
         """Load (and calibrate or warm-start) a model before traffic arrives."""
         self.registry.get(spec)
 
-    def submit(self, spec: str | ModelKey, image: np.ndarray) -> ServeRequest:
+    def _count_rejection(self, spec: str, reason: str) -> None:
+        """One refused/expired request: ``rejected_total`` plus the
+        reason-labelled ``rejections_total`` family (global + per-spec,
+        the PR 5 ``requests_total`` parity pattern)."""
+        self.metrics.counter("rejected_total").inc()
+        self.metrics.counter("rejected_total", labels={"spec": spec}).inc()
+        self.metrics.counter("rejections_total", labels={"reason": reason}).inc()
+        self.metrics.counter(
+            "rejections_total", labels={"reason": reason, "spec": spec}
+        ).inc()
+
+    def submit(
+        self, spec: str | ModelKey, image: np.ndarray, tenant: str = "default"
+    ) -> ServeRequest:
         """Enqueue one image; returns the request handle to wait on.
 
         Raises :class:`~repro.serve.scheduler.QueueFullError` when the
-        lane's bounded queue is full (backpressure).  Only *accepted*
-        requests count toward ``requests_total`` (global and per-spec,
-        like every other counter family) and the queue-depth
-        distribution; rejections increment ``rejected_total`` (global and
-        per-lane) instead.
+        lane's bounded queue is full (backpressure), or an
+        :class:`~repro.serve.admission.AdmissionError` subclass when the
+        admission controller refuses the request (shed, rate-limited, or
+        breaker-open reject).  Only *accepted* requests count toward
+        ``requests_total`` (global and per-spec, like every other counter
+        family) and the queue-depth distribution; every refusal
+        increments ``rejected_total`` (global and per-lane) plus the
+        reason-labelled ``rejections_total`` family.
         """
         key = ModelKey.parse(spec) if isinstance(spec, str) else spec
         lane = self._lane(key)
+        if self.admission is not None:
+            now = self.clock()
+            decision = self.admission.decide(
+                tenant,
+                LaneView(
+                    queue_depth=lane.scheduler.qsize(),
+                    queue_capacity=self.policy.max_queue,
+                    breaker_state=lane.breaker.state,
+                ),
+                now=now,
+            )
+            if not decision.admitted:
+                self._count_rejection(key.spec, decision.reason)
+                raise decision.error
+            if decision.force_float:
+                lane.degrade(now + self.admission.policy.degrade_hold_s)
         try:
             request = lane.scheduler.submit(np.asarray(image, dtype=np.float32))
         except QueueFullError:
-            self.metrics.counter("rejected_total").inc()
-            self.metrics.counter("rejected_total", labels={"spec": key.spec}).inc()
+            self._count_rejection(key.spec, "queue_full")
             raise
         self.metrics.counter("requests_total").inc()
         self.metrics.counter("requests_total", labels={"spec": key.spec}).inc()
@@ -225,7 +281,18 @@ class ServeEngine:
             lane.breaker.record_failure()
             self._fail_batch(lane, batch, error)
             return
-        quantized = servable.quantized and lane.breaker.allow()
+        # Admission degrade ladder level 2 forces the float fallback for
+        # the hold window — same degraded-but-available stance as an open
+        # breaker, driven by overload instead of failures.
+        degraded = lane.degraded(started)
+        if degraded:
+            self.metrics.counter("degraded_batches_total").inc()
+            self.metrics.counter(
+                "degraded_batches_total", labels={"spec": spec}
+            ).inc()
+        # breaker.allow() is consulted last so a degraded batch never
+        # consumes (and then abandons) a half-open probe slot.
+        quantized = servable.quantized and not degraded and lane.breaker.allow()
         logits = None
         if quantized:
             try:
@@ -333,27 +400,36 @@ class ServeEngine:
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """Full metrics snapshot: engine instruments + scheduler + registry."""
+        """Full metrics snapshot: engine instruments + scheduler + registry.
+
+        Lane state is collected under the engine lock with each lane's
+        own lock and the scheduler's atomic :meth:`~MicroBatchScheduler.stats`
+        held per lane, so the queued/timed-out/rejected/breaker/in-flight
+        numbers for a lane describe one consistent instant — concurrent
+        submits and completions cannot interleave between the reads.
+        """
+        lane_views: dict[str, dict] = {}
         with self._lock:
-            lanes = dict(self._lanes)
-        timeouts = sum(l.scheduler.timed_out for l in lanes.values())
-        return self.metrics.snapshot(
-            extra={
-                "registry": self.registry.snapshot(),
-                "drift": self.drift.snapshot() if self.drift is not None else {},
-                "lanes": {
-                    lane.key.spec: {
-                        "queued": lane.scheduler.qsize(),
-                        "timed_out": lane.scheduler.timed_out,
-                        "rejected": lane.scheduler.rejected,
+            for lane in self._lanes.values():
+                with lane.lock:
+                    stats = lane.scheduler.stats()
+                    lane_views[lane.key.spec] = {
+                        **stats,
                         "breaker": lane.breaker.snapshot(),
                         "watchdog_restarts": lane.restarts,
+                        "in_flight": lane.in_flight,
+                        "degraded": self.clock() < lane.force_float_until,
                     }
-                    for lane in lanes.values()
-                },
-                "timeouts_total": timeouts,
-            }
-        )
+        timeouts = sum(view["timed_out"] for view in lane_views.values())
+        extra = {
+            "registry": self.registry.snapshot(),
+            "drift": self.drift.snapshot() if self.drift is not None else {},
+            "lanes": lane_views,
+            "timeouts_total": timeouts,
+        }
+        if self.admission is not None:
+            extra["admission"] = self.admission.snapshot()
+        return self.metrics.snapshot(extra=extra)
 
     def drain(self, timeout: float = 30.0, wall_cap: float | None = None) -> bool:
         """Wait until every queue is empty and nothing is in flight.

@@ -67,14 +67,21 @@ class BatchPolicy:
 
 
 class ServeRequest:
-    """One queued image plus the completion slot its submitter waits on."""
+    """One queued image plus the completion slot its submitter waits on.
+
+    Completion wakes waiters through a :class:`threading.Condition`, so
+    :meth:`result` returns the moment the worker completes the request —
+    latency is never quantized by a poll interval, which matters under
+    load where thousands of submitters wait concurrently.
+    """
 
     def __init__(self, payload: np.ndarray, enqueued_at: float):
         self.payload = payload
         self.enqueued_at = enqueued_at
         self.dispatched_at: float | None = None
         self.completed_at: float | None = None
-        self._done = threading.Event()
+        self._cond = threading.Condition()
+        self._completed = False
         self._result = None
         self._error: BaseException | None = None
 
@@ -83,32 +90,39 @@ class ServeRequest:
     # or shutdown failing an already-completed request, must not overwrite
     # the outcome the submitter may already have observed.
     def set_result(self, result, now: float | None = None) -> None:
-        if self._done.is_set():
-            return
-        self._result = result
-        self.completed_at = now
-        self._done.set()
+        with self._cond:
+            if self._completed:
+                return
+            self._result = result
+            self.completed_at = now
+            self._completed = True
+            self._cond.notify_all()
 
     def set_exception(self, error: BaseException, now: float | None = None) -> None:
-        if self._done.is_set():
-            return
-        self._error = error
-        self.completed_at = now
-        self._done.set()
+        with self._cond:
+            if self._completed:
+                return
+            self._error = error
+            self.completed_at = now
+            self._completed = True
+            self._cond.notify_all()
 
     def done(self) -> bool:
-        return self._done.is_set()
+        with self._cond:
+            return self._completed
 
     def result(self, timeout: float | None = None):
         """Block until completion; raises the stored exception on failure."""
-        if not self._done.wait(timeout):
-            raise TimeoutError("request not completed within wait timeout")
-        if self._error is not None:
-            raise self._error
-        return self._result
+        with self._cond:
+            if not self._cond.wait_for(lambda: self._completed, timeout):
+                raise TimeoutError("request not completed within wait timeout")
+            if self._error is not None:
+                raise self._error
+            return self._result
 
     def exception(self) -> BaseException | None:
-        return self._error if self._done.is_set() else None
+        with self._cond:
+            return self._error if self._completed else None
 
 
 @dataclass
@@ -136,7 +150,8 @@ class MicroBatchScheduler:
     worker thread uses, built on the same primitives.
     """
 
-    def __init__(self, policy: BatchPolicy | None = None, clock=time.monotonic):
+    def __init__(self, policy: BatchPolicy | None = None, clock=time.monotonic,
+                 on_expire=None):
         self.policy = BatchPolicy() if policy is None else policy
         self.clock = clock
         self._queue: list[ServeRequest] = []
@@ -145,6 +160,10 @@ class MicroBatchScheduler:
         self._closed = False
         self.timed_out: int = 0  # total requests expired while queued
         self.rejected: int = 0  # total submissions refused (queue full / closed)
+        # Called once per expired request (after its exception is set),
+        # with the scheduler lock held — must not re-enter the scheduler.
+        # The engine uses it to count timeouts in its rejection metrics.
+        self._on_expire = on_expire
 
     # ------------------------------------------------------------------
     def submit(self, payload: np.ndarray, now: float | None = None) -> ServeRequest:
@@ -170,6 +189,21 @@ class MicroBatchScheduler:
         with self._lock:
             return len(self._queue)
 
+    def stats(self) -> dict:
+        """Queued/timed-out/rejected counts read atomically under one lock.
+
+        The engine's snapshot uses this so the three numbers describe the
+        same instant — reading them through separate calls can interleave
+        with a concurrent expiry and show a timeout that is in neither the
+        queue count nor the timed-out count.
+        """
+        with self._lock:
+            return {
+                "queued": len(self._queue),
+                "timed_out": self.timed_out,
+                "rejected": self.rejected,
+            }
+
     # ------------------------------------------------------------------
     def _expire_locked(self, now: float) -> list[ServeRequest]:
         deadline = self.policy.timeout_ms / 1000.0
@@ -186,6 +220,8 @@ class MicroBatchScheduler:
                     ),
                     now=now,
                 )
+                if self._on_expire is not None:
+                    self._on_expire(request)
         return expired
 
     def expire_timeouts(self, now: float | None = None) -> list[ServeRequest]:

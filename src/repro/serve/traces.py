@@ -1,0 +1,149 @@
+"""Seeded traffic traces: diurnal cycles, flash crowds, tenant mixes.
+
+Real serving load is nothing like a constant-rate Poisson stream: offered
+traffic breathes with a diurnal cycle, spikes by integer multiples when a
+flash crowd hits, and is shared by tenants whose demand is heavy-tailed
+(a few tenants dominate, a long tail trickles).  The scale benchmark
+(:mod:`repro.analysis.scale`) replays these traces open-loop against an
+engine to measure exactly the regime admission control exists for —
+offered load well past capacity.
+
+Everything is derived from one seed through ``numpy``'s Generator, so a
+trace is a pure function of its :class:`TraceConfig`: the same config
+replays the same arrivals, tenants, and flash crowd on every run.
+Arrivals are an inhomogeneous Poisson process, sampled per ``bin_s`` bin
+with the instantaneous rate
+
+``rate(t) = base_rate x (1 + A sin(2 pi t / period)) x flash(t)``
+
+where ``flash(t)`` is ``flash_multiplier`` inside the crowd window and 1
+outside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "TraceConfig",
+    "TraceEvent",
+    "tenant_mix",
+    "offered_rate",
+    "generate_trace",
+    "trace_stats",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One arrival: when it lands and which tenant sent it."""
+
+    at_s: float
+    tenant: str
+
+
+@dataclass
+class TraceConfig:
+    """Shape of one synthetic traffic trace (all rates in requests/s)."""
+
+    duration_s: float = 8.0
+    base_rate: float = 120.0  # steady-state offered load
+    seed: int = 0
+    bin_s: float = 0.05  # Poisson sampling resolution
+    diurnal_amplitude: float = 0.35  # sinusoid swing as a fraction of base
+    diurnal_period_s: float = 8.0
+    flash_at: float = 0.45  # crowd start, as a fraction of the duration
+    flash_len: float = 0.25  # crowd length, as a fraction of the duration
+    flash_multiplier: float = 4.0  # offered-load multiple inside the crowd
+    tenants: int = 4
+    tenant_skew: float = 1.1  # Zipf exponent; 0 = uniform mix
+
+    def __post_init__(self):
+        if self.duration_s <= 0 or self.base_rate <= 0 or self.bin_s <= 0:
+            raise ValueError("duration_s, base_rate and bin_s must be > 0")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be within [0, 1)")
+        if self.diurnal_period_s <= 0:
+            raise ValueError("diurnal_period_s must be > 0")
+        if not 0.0 <= self.flash_at <= 1.0 or not 0.0 <= self.flash_len <= 1.0:
+            raise ValueError("flash_at and flash_len are fractions of the duration")
+        if self.flash_multiplier < 1.0:
+            raise ValueError("flash_multiplier must be >= 1 (1 disables the crowd)")
+        if self.tenants < 1 or self.tenant_skew < 0:
+            raise ValueError("tenants must be >= 1 and tenant_skew >= 0")
+
+    @property
+    def flash_window(self) -> tuple[float, float]:
+        start = self.flash_at * self.duration_s
+        return (start, min(self.duration_s, start + self.flash_len * self.duration_s))
+
+
+def tenant_mix(config: TraceConfig) -> dict[str, float]:
+    """Per-tenant offered-traffic fractions (Zipf-skewed, sums to 1).
+
+    These double as the fair-queue weights the admission controller is
+    configured with in the scale benchmark: each tenant is entitled to
+    the share of capacity proportional to its long-run demand.
+    """
+    ranks = np.arange(1, config.tenants + 1, dtype=np.float64)
+    weights = ranks ** -config.tenant_skew
+    weights /= weights.sum()
+    return {f"tenant-{i}": float(w) for i, w in enumerate(weights)}
+
+
+def offered_rate(config: TraceConfig, t: float) -> float:
+    """Instantaneous offered load (requests/s) at trace time ``t``."""
+    diurnal = 1.0 + config.diurnal_amplitude * np.sin(
+        2.0 * np.pi * t / config.diurnal_period_s
+    )
+    start, end = config.flash_window
+    flash = config.flash_multiplier if start <= t < end else 1.0
+    return float(config.base_rate * diurnal * flash)
+
+
+def generate_trace(config: TraceConfig) -> list[TraceEvent]:
+    """Sample the full arrival sequence for ``config`` (sorted by time)."""
+    rng = np.random.default_rng(config.seed)
+    mix = tenant_mix(config)
+    names = list(mix)
+    probs = np.array([mix[name] for name in names])
+    events: list[TraceEvent] = []
+    t = 0.0
+    while t < config.duration_s:
+        lam = offered_rate(config, t + config.bin_s / 2.0) * config.bin_s
+        count = int(rng.poisson(lam))
+        if count:
+            offsets = rng.uniform(0.0, config.bin_s, size=count)
+            tenants = rng.choice(len(names), size=count, p=probs)
+            events.extend(
+                TraceEvent(at_s=min(t + off, config.duration_s), tenant=names[k])
+                for off, k in zip(offsets, tenants)
+            )
+        t += config.bin_s
+    events.sort(key=lambda e: e.at_s)
+    return events
+
+
+def trace_stats(events: list[TraceEvent], config: TraceConfig) -> dict:
+    """Summary of one sampled trace (JSON-serializable)."""
+    per_tenant: dict[str, int] = {name: 0 for name in tenant_mix(config)}
+    for event in events:
+        per_tenant[event.tenant] = per_tenant.get(event.tenant, 0) + 1
+    start, end = config.flash_window
+    in_flash = sum(1 for e in events if start <= e.at_s < end)
+    flash_rate = in_flash / (end - start) if end > start else 0.0
+    steady = len(events) - in_flash
+    steady_time = config.duration_s - (end - start)
+    steady_rate = steady / steady_time if steady_time > 0 else 0.0
+    return {
+        "events": len(events),
+        "duration_s": config.duration_s,
+        "mean_rate_rps": round(len(events) / config.duration_s, 2),
+        "steady_rate_rps": round(steady_rate, 2),
+        "flash_rate_rps": round(flash_rate, 2),
+        "flash_over_steady": round(flash_rate / steady_rate, 2) if steady_rate else 0.0,
+        "flash_window_s": [round(start, 3), round(end, 3)],
+        "per_tenant": per_tenant,
+    }

@@ -1,0 +1,328 @@
+"""Tests for admission control: rate limits, shedding, fairness, ladder."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.breaker import CLOSED, OPEN
+from repro.serve.admission import (
+    REJECT_REASONS,
+    AdmissionController,
+    AdmissionPolicy,
+    BreakerOpenError,
+    Decision,
+    FairShareTracker,
+    LaneView,
+    RateLimitedError,
+    ShedError,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def idle_lane(depth=0, capacity=64, breaker=CLOSED):
+    return LaneView(queue_depth=depth, queue_capacity=capacity,
+                    breaker_state=breaker)
+
+
+class TestRejectReasons:
+    def test_error_reasons_are_in_the_label_set(self):
+        assert ShedError("x").reason in REJECT_REASONS
+        assert RateLimitedError("x").reason in REJECT_REASONS
+        assert BreakerOpenError("x").reason in REJECT_REASONS
+
+    def test_shed_error_carries_ladder_level(self):
+        assert ShedError("x", level=3).level == 3
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, capacity=5.0, clock=clock)
+        assert all(bucket.try_take() for _ in range(5))
+        assert not bucket.try_take()
+        clock.advance(0.1)  # 1 token refilled
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_capacity_caps_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, capacity=2.0, clock=clock)
+        clock.advance(100.0)
+        bucket.try_take()
+        assert bucket.level() == pytest.approx(1.0)
+
+
+class TestFairShareTracker:
+    def test_window_eviction_keeps_counts_consistent(self):
+        tracker = FairShareTracker(window=4)
+        for tenant in ("a", "a", "b", "a", "b", "b"):
+            tracker.record(tenant)
+        # Window holds the last 4: b, a, b, b
+        assert tracker.admitted("b") == 3 and tracker.admitted("a") == 1
+        assert tracker.share("b") == pytest.approx(0.75)
+
+
+class TestPolicyValidation:
+    def test_rejects_unordered_fractions(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(shed_queue_fraction=0.9, degrade_queue_fraction=0.5)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(tenant_weights={"a": 0.0})
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(rate_limit_rps=-1.0)
+
+
+class TestDegradeLadder:
+    def make(self, **overrides):
+        clock = FakeClock()
+        policy = AdmissionPolicy(**overrides)
+        return AdmissionController(policy, clock=clock), clock
+
+    def test_level0_admits_everything(self):
+        ctrl, _ = self.make()
+        for _ in range(100):
+            assert ctrl.decide("t", idle_lane(depth=0)).admitted
+
+    def test_levels_follow_queue_depth(self):
+        ctrl, _ = self.make()
+        # Defaults: shed 0.6, degrade 0.8, reject 0.95 of capacity 64.
+        assert ctrl.decide("t", idle_lane(depth=0)).level == 0
+        assert ctrl.decide("t", idle_lane(depth=40)).level == 1
+        assert ctrl.decide("t", idle_lane(depth=52)).level == 2
+        assert ctrl.decide("t", idle_lane(depth=61)).level == 3
+
+    def test_level2_admits_are_forced_to_float(self):
+        ctrl, _ = self.make()
+        decisions = [ctrl.decide("t", idle_lane(depth=52)) for _ in range(8)]
+        admitted = [d for d in decisions if d.admitted]
+        assert admitted and all(d.force_float for d in admitted)
+
+    def test_level3_sheds_everyone_but_starved_tenants(self):
+        ctrl, _ = self.make()
+        first = ctrl.decide("fresh", idle_lane(depth=63))
+        assert first.admitted  # starvation guard: no recent admissions
+        later = [ctrl.decide("fresh", idle_lane(depth=63)) for _ in range(10)]
+        assert not any(d.admitted for d in later)
+        assert all(isinstance(d.error, ShedError) for d in later)
+
+    def test_open_breaker_under_pressure_rejects(self):
+        ctrl, _ = self.make()
+        decision = ctrl.decide("t", idle_lane(depth=40, breaker=OPEN))
+        assert not decision.admitted and decision.reason == "breaker_open"
+        assert isinstance(decision.error, BreakerOpenError)
+
+    def test_open_breaker_without_pressure_admits(self):
+        ctrl, _ = self.make()
+        assert ctrl.decide("t", idle_lane(depth=0, breaker=OPEN)).admitted
+
+    def test_p99_latency_escalates_the_ladder(self):
+        clock = FakeClock()
+        policy = AdmissionPolicy(p99_target_ms=100.0)
+        ctrl = AdmissionController(policy, clock=clock, p99_probe=lambda: 300.0)
+        # 300ms >= 100 * 2.5 -> level 3 even with an empty queue.
+        decision = ctrl.decide("a", idle_lane(depth=0))
+        assert decision.level == 3
+
+    def test_p99_probe_is_cached_between_refreshes(self):
+        calls = []
+
+        def probe():
+            calls.append(1)
+            return 0.0
+
+        clock = FakeClock()
+        policy = AdmissionPolicy(p99_target_ms=100.0, latency_refresh_s=1.0)
+        ctrl = AdmissionController(policy, clock=clock, p99_probe=probe)
+        for _ in range(10):
+            ctrl.decide("a", idle_lane())
+        assert len(calls) == 1
+        clock.advance(1.5)
+        ctrl.decide("a", idle_lane())
+        assert len(calls) == 2
+
+    def test_broken_probe_does_not_block_admits(self):
+        def probe():
+            raise RuntimeError("histogram gone")
+
+        policy = AdmissionPolicy(p99_target_ms=100.0)
+        ctrl = AdmissionController(policy, clock=FakeClock(), p99_probe=probe)
+        assert ctrl.decide("a", idle_lane()).admitted
+
+
+class TestRateLimit:
+    def test_over_rate_traffic_is_rate_limited_not_shed(self):
+        clock = FakeClock()
+        policy = AdmissionPolicy(rate_limit_rps=10.0, burst_s=0.5)
+        ctrl = AdmissionController(policy, clock=clock)
+        verdicts = [ctrl.decide("t", idle_lane()) for _ in range(10)]
+        admitted = sum(d.admitted for d in verdicts)
+        limited = [d for d in verdicts if not d.admitted]
+        assert admitted == 5  # burst capacity 10 * 0.5
+        assert all(d.reason == "rate_limited" for d in limited)
+        assert all(isinstance(d.error, RateLimitedError) for d in limited)
+
+    def test_tokens_refill_with_time(self):
+        clock = FakeClock()
+        policy = AdmissionPolicy(rate_limit_rps=10.0, burst_s=0.1)
+        ctrl = AdmissionController(policy, clock=clock)
+        assert ctrl.decide("t", idle_lane()).admitted
+        assert not ctrl.decide("t", idle_lane()).admitted
+        clock.advance(0.2)
+        assert ctrl.decide("t", idle_lane()).admitted
+
+
+class TestWeightedFairness:
+    def test_over_share_tenant_absorbs_the_shedding(self):
+        clock = FakeClock()
+        policy = AdmissionPolicy(
+            tenant_weights={"heavy": 1.0, "light": 1.0},
+            fairness_slack=1.2,
+            starvation_guard=1,
+        )
+        ctrl = AdmissionController(policy, clock=clock)
+        # Fill the window with heavy-tenant admissions at level 0.
+        for _ in range(50):
+            ctrl.decide("heavy", idle_lane(depth=0))
+        ctrl.decide("light", idle_lane(depth=0))
+        # Under shed pressure the over-share tenant is refused while the
+        # in-share tenant keeps a positive admit rate.
+        heavy = [ctrl.decide("heavy", idle_lane(depth=40)) for _ in range(20)]
+        light = [ctrl.decide("light", idle_lane(depth=40)) for _ in range(20)]
+        assert not any(d.admitted for d in heavy)
+        assert sum(d.admitted for d in light) > 10
+
+    def test_deterministic_shed_pattern(self):
+        def run():
+            ctrl = AdmissionController(AdmissionPolicy(), clock=FakeClock())
+            return [ctrl.decide("t", idle_lane(depth=40)).admitted
+                    for _ in range(64)]
+
+        assert run() == run()
+        assert 0 < sum(run()) < 64  # partial shedding, not all-or-nothing
+
+    def test_weight_share_includes_seen_tenants(self):
+        ctrl = AdmissionController(
+            AdmissionPolicy(tenant_weights={"a": 3.0, "b": 1.0}),
+            clock=FakeClock(),
+        )
+        assert ctrl.weight_share("a") == pytest.approx(0.75)
+        ctrl.decide("c", idle_lane())  # unseen tenant at default weight 1
+        assert ctrl.weight_share("a") == pytest.approx(0.6)
+
+
+class TestSnapshot:
+    def test_snapshot_reports_stats_and_level(self):
+        ctrl = AdmissionController(
+            AdmissionPolicy(rate_limit_rps=1.0, burst_s=1.0), clock=FakeClock()
+        )
+        ctrl.decide("t", idle_lane())
+        ctrl.decide("t", idle_lane())  # rate limited
+        snap = ctrl.snapshot()
+        assert snap["admitted"] == 1 and snap["rate_limited"] == 1
+        assert snap["bucket_tokens"] is not None
+        assert snap["window_admits"] == {"t": 1}
+
+
+class FakeAdmission:
+    """Minimal stand-in for AdmissionController in engine wiring tests."""
+
+    def __init__(self, decision):
+        self.decision = decision
+        self.policy = AdmissionPolicy(degrade_hold_s=100.0)
+        self.probe = None
+
+    def attach_latency_probe(self, probe):
+        self.probe = probe
+
+    def decide(self, tenant, lane, now=None):
+        return self.decision
+
+    def snapshot(self):
+        return {"stub": True}
+
+
+class TestEngineIntegration:
+    @pytest.fixture
+    def registry(self, tmp_path, calib_images):
+        from repro.serve import ModelRegistry
+        from tests.test_serve_registry import tiny_loader
+
+        return ModelRegistry(
+            capacity=2, artifact_dir=tmp_path, loader=tiny_loader,
+            calib_provider=lambda: calib_images[:16],
+        )
+
+    def test_refusal_raises_typed_error_and_counts_reason(self, registry):
+        from repro.serve import BatchPolicy, ServeEngine
+
+        admission = FakeAdmission(Decision(
+            admitted=False, reason="shed", error=ShedError("overload", level=1),
+        ))
+        policy = BatchPolicy(max_batch_size=4, max_wait_ms=2.0)
+        with ServeEngine(registry, policy, admission=admission) as engine:
+            engine.warm("vit_s/quq/4")
+            image = np.zeros((16, 16, 3), dtype=np.float32)
+            with pytest.raises(ShedError):
+                engine.submit("vit_s/quq/4", image, tenant="t")
+            counters = engine.snapshot()["counters"]
+        assert counters["rejected_total"] == 1
+        assert counters['rejections_total{reason="shed"}'] == 1
+        assert counters.get("requests_total", 0) == 0
+
+    def test_force_float_decision_degrades_the_lane(self, registry):
+        from repro.serve import BatchPolicy, ServeEngine
+
+        admission = FakeAdmission(Decision(admitted=True, force_float=True))
+        policy = BatchPolicy(max_batch_size=4, max_wait_ms=2.0)
+        with ServeEngine(registry, policy, admission=admission) as engine:
+            engine.warm("vit_s/quq/4")
+            image = np.zeros((16, 16, 3), dtype=np.float32)
+            result = engine.submit("vit_s/quq/4", image, tenant="t").result(
+                timeout=30.0
+            )
+            counters = engine.snapshot()["counters"]
+        assert result.quantized is False
+        assert counters["degraded_batches_total"] >= 1
+
+    def test_probe_is_wired_to_the_e2e_histogram(self, registry):
+        from repro.serve import BatchPolicy, ServeEngine
+
+        admission = FakeAdmission(Decision(admitted=True))
+        with ServeEngine(
+            registry, BatchPolicy(max_batch_size=4, max_wait_ms=2.0),
+            admission=admission,
+        ) as engine:
+            assert admission.probe is not None
+            assert admission.probe() == 0.0  # empty histogram
+
+    def test_real_controller_rate_limits_submits(self, registry):
+        from repro.serve import BatchPolicy, ServeEngine
+
+        admission = AdmissionController(
+            AdmissionPolicy(rate_limit_rps=1.0, burst_s=1.0)
+        )
+        policy = BatchPolicy(max_batch_size=4, max_wait_ms=2.0)
+        with ServeEngine(registry, policy, admission=admission) as engine:
+            engine.warm("vit_s/quq/4")
+            image = np.zeros((16, 16, 3), dtype=np.float32)
+            first = engine.submit("vit_s/quq/4", image, tenant="t")
+            with pytest.raises(RateLimitedError):
+                engine.submit("vit_s/quq/4", image, tenant="t")
+            first.result(timeout=30.0)
+            snap = engine.snapshot()
+        assert snap["counters"]['rejections_total{reason="rate_limited"}'] == 1
+        assert snap["admission"]["rate_limited"] == 1

@@ -1,0 +1,256 @@
+"""Tests for the sharded multi-process cluster engine.
+
+The stub servable below lives at module scope so forked shard processes
+inherit it (and the loader closure) by address-space copy — no pickling,
+no model build inside the child, instant spawn.
+"""
+
+import numpy as np
+import pytest
+
+from repro.resilience import ResiliencePolicy
+from repro.resilience.faults import (
+    BATCH_EXCEPTION,
+    QUEUE_SPIKE,
+    STALL,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.resilience.soak import ChaosSoakConfig, run_chaos_soak
+from repro.serve import BatchPolicy, ClusterEngine, ClusterPolicy, ModelKey
+
+SPEC = "vit_s/quq/6"
+FULL_SPEC = ModelKey.parse(SPEC).spec  # normalized lane/registry key
+IMAGE = np.zeros((16, 16, 3), dtype=np.float32)
+
+
+class StubServable:
+    """Deterministic fake model: logits depend only on the input mean."""
+
+    quantized = True
+    classes = 10
+
+    def predict(self, images, recorder=None):
+        n = len(images)
+        logits = np.zeros((n, self.classes), dtype=np.float32)
+        logits[:, 1] = np.asarray(images).reshape(n, -1).mean(axis=1) + 1.0
+        return logits
+
+    def predict_float(self, images):
+        return self.predict(images)
+
+
+def stub_loader(spec):
+    return StubServable()
+
+
+def make_engine(shards=2, stall_s=0.3, **kwargs):
+    return ClusterEngine(
+        loader=stub_loader,
+        policy=BatchPolicy(max_batch_size=4, max_wait_ms=2.0, max_queue=64,
+                           timeout_ms=5000.0),
+        cluster=ClusterPolicy(shards=shards, image_hw=16, max_classes=16),
+        resilience=ResiliencePolicy(watchdog_stall_s=stall_s),
+        **kwargs,
+    )
+
+
+class TestClusterLifecycle:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            ClusterPolicy(shards=0)
+        with pytest.raises(ValueError):
+            ClusterPolicy(max_redispatch=-1)
+
+    def test_serves_requests_through_shard_processes(self):
+        with make_engine() as engine:
+            engine.warm(SPEC)
+            handles = [engine.submit(SPEC, IMAGE) for _ in range(20)]
+            results = [h.result(timeout=30.0) for h in handles]
+            snap = engine.snapshot()
+        assert all(r.label == 1 for r in results)
+        assert all(r.quantized for r in results)
+        assert snap["counters"]["responses_total"] == 20
+        assert snap["counters"]["requests_total"] == 20
+        lane = snap["lanes"][FULL_SPEC]
+        assert len(lane["shards"]) == 2
+        assert all(s["alive"] for s in lane["shards"])
+
+    def test_loader_failure_surfaces_at_warm(self):
+        def broken_loader(spec):
+            raise RuntimeError("artifact missing")
+
+        engine = ClusterEngine(
+            loader=broken_loader,
+            policy=BatchPolicy(max_batch_size=4),
+            cluster=ClusterPolicy(shards=1, image_hw=16),
+        )
+        try:
+            with pytest.raises(RuntimeError, match="artifact missing"):
+                engine.warm(SPEC)
+        finally:
+            engine.stop()
+
+    def test_rejects_images_that_do_not_fit_the_rings(self):
+        with make_engine(shards=1) as engine:
+            engine.warm(SPEC)
+            with pytest.raises(ValueError, match="shared"):
+                engine.submit(SPEC, np.zeros((32, 32, 3), dtype=np.float32))
+
+    def test_stop_is_idempotent_and_reports_registry(self):
+        engine = make_engine(shards=1)
+        engine.warm(SPEC)
+        view = engine.registry.snapshot()
+        assert view["entries"] == [FULL_SPEC]
+        assert len(view["shards"][FULL_SPEC]) == 1
+        engine.stop()
+        engine.stop()
+
+
+class TestClusterSupervision:
+    def test_shard_kill_recovers_without_silent_loss(self):
+        with make_engine() as engine:
+            engine.warm(SPEC)
+            handles = [engine.submit(SPEC, IMAGE) for _ in range(12)]
+            engine.kill_shard(SPEC, index=0)
+            handles += [engine.submit(SPEC, IMAGE) for _ in range(12)]
+            results = [h.result(timeout=30.0) for h in handles]
+            snap = engine.snapshot()
+        # Zero silent loss: every admitted request got a real answer.
+        assert len(results) == 24
+        assert snap["counters"]["responses_total"] == 24
+        assert snap["counters"]["shard_restarts_total"] >= 1
+        assert snap["counters"]["shard_crashes_total"] >= 1
+        assert all(s["alive"] for s in snap["lanes"][FULL_SPEC]["shards"])
+
+    def test_idle_crash_is_respawned_by_check_watchdog(self):
+        with make_engine(shards=1) as engine:
+            engine.warm(SPEC)
+            engine.kill_shard(SPEC, index=0)
+            key = ModelKey.parse(SPEC)
+            with engine._lock:
+                shard = engine._lanes[key].shards[0]
+            shard.process.join(timeout=5.0)
+            restarted = engine.check_watchdog()
+            assert restarted == [FULL_SPEC]
+            result = engine.submit(SPEC, IMAGE).result(timeout=30.0)
+        assert result.label == 1
+
+    def test_injected_stall_trips_the_watchdog_restart(self):
+        plan = FaultPlan([FaultSpec(STALL, start=1, count=1, stall_s=2.0)])
+        with make_engine(stall_s=0.25, faults=plan) as engine:
+            engine.warm(SPEC)
+            handles = [engine.submit(SPEC, IMAGE) for _ in range(12)]
+            results = [h.result(timeout=30.0) for h in handles]
+            snap = engine.snapshot()
+        assert len(results) == 12
+        assert snap["counters"]["watchdog_restarts_total"] >= 1
+        assert snap["counters"]["reroutes_total"] >= 1
+        assert snap["counters"]["responses_total"] == 12
+
+    def test_batch_exception_fails_over_to_float(self):
+        plan = FaultPlan([FaultSpec(BATCH_EXCEPTION, start=0, count=1)])
+        with make_engine(shards=1, faults=plan) as engine:
+            engine.warm(SPEC)
+            result = engine.submit(SPEC, IMAGE).result(timeout=30.0)
+            snap = engine.snapshot()
+        assert result.quantized is False
+        assert snap["counters"]["failovers_total"] >= 1
+
+    def test_degraded_lane_serves_the_float_path(self):
+        with make_engine(shards=1) as engine:
+            engine.warm(SPEC)
+            lane = engine._lane(ModelKey.parse(SPEC))
+            lane.degrade(engine.clock() + 100.0)
+            result = engine.submit(SPEC, IMAGE).result(timeout=30.0)
+            snap = engine.snapshot()
+        assert result.quantized is False
+        assert snap["counters"]["degraded_batches_total"] >= 1
+        assert snap["lanes"][FULL_SPEC]["degraded"] is True
+
+    def test_registry_invalidate_rolls_the_shards(self):
+        with make_engine() as engine:
+            engine.warm(SPEC)
+            assert engine.registry.invalidate(SPEC) is True
+            snap = engine.registry.snapshot()
+            result = engine.submit(SPEC, IMAGE).result(timeout=30.0)
+        assert all(s["restarts"] >= 1 for s in snap["shards"][FULL_SPEC])
+        assert result.label == 1
+
+
+class TestClusterChaosSoak:
+    def test_soak_rides_through_spikes_and_stalls(self):
+        """Satellite: the PR 2 chaos harness audits the process topology
+        unchanged — availability floor holds and nothing non-finite or
+        silently dropped survives a queue spike plus a shard stall."""
+        plan = FaultPlan([
+            FaultSpec(QUEUE_SPIKE, start=10, count=2, spike=16),
+            FaultSpec(STALL, start=4, count=1, stall_s=1.5),
+        ])
+        engine = make_engine(stall_s=0.25, faults=plan)
+        config = ChaosSoakConfig(
+            spec=SPEC, requests=48, rate=400.0, seed=0,
+            availability_floor=0.5, image_size=16,
+            watchdog_every=8, settle_s=15.0,
+        )
+        try:
+            report = run_chaos_soak(engine, plan, config)
+        finally:
+            engine.stop()
+        assert report["passed"], report["faults"]
+        assert report["nonfinite_served"] == 0
+        assert report["deadlock_free"] is True
+        assert report["availability"] >= config.availability_floor
+        assert report["faults"][STALL]["recovered"] is True
+        assert report["faults"][QUEUE_SPIKE]["recovered"] is True
+        # Ledger: every offered request was answered or explicitly refused.
+        assert (report["completed"] + report["failed"] + report["rejected"]
+                == report["offered"])
+
+
+class TestScaleBenchmarkSmoke:
+    def test_trace_replay_passes_all_gates(self):
+        from repro.analysis.scale import (
+            ScaleBenchConfig,
+            format_scale_report,
+            run_scale_benchmark,
+        )
+        from repro.serve import (
+            AdmissionController,
+            AdmissionPolicy,
+            TraceConfig,
+            tenant_mix,
+        )
+
+        trace = TraceConfig(
+            duration_s=1.5, base_rate=200.0, seed=0, tenants=3,
+            flash_multiplier=3.0,
+        )
+        admission = AdmissionController(
+            AdmissionPolicy(tenant_weights=tenant_mix(trace))
+        )
+        engine = make_engine(admission=admission)
+        config = ScaleBenchConfig(
+            spec=SPEC, trace=trace, kill_shard_at=0.5, settle_s=10.0
+        )
+        try:
+            report = run_scale_benchmark(engine, config)
+        finally:
+            engine.stop()
+        assert report["schema_version"] == 1
+        assert report["passed"], {
+            key: report[key]
+            for key in ("availability", "no_silent_drop", "fairness_ok",
+                        "deadlock_free", "recovery_ok")
+        }
+        # Zero-silent-drop ledger.
+        assert report["offered"] == report["admitted"] + report["rejected"]
+        assert report["admitted"] == report["completed"] + report["failed"]
+        assert report["nonfinite_served"] == 0
+        # The mid-trace SIGKILL must have been noticed and repaired.
+        assert report["recovery"]["killed_pid"] is not None
+        assert report["recovery"]["shard_restarts_total"] >= 1
+        rendered = format_scale_report(report)
+        assert "Scale benchmark" in rendered
+        assert "Shard-loss recovery" in rendered
+        assert "Gates" in rendered

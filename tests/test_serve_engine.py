@@ -290,3 +290,74 @@ class TestServeBenchmark:
         assert "Serving benchmark" in rendered
         assert "Batch-size distribution" in rendered
         assert "Registry" in rendered
+
+
+class TestSnapshotConsistencyUnderLoad:
+    """``snapshot()`` collects lane state under the engine lock with each
+    lane's lock and the scheduler's atomic ``stats()`` held, so every view
+    describes one instant — and taking it must never deadlock against the
+    workers, submitters, or completions racing it."""
+
+    LANE_KEYS = {"queued", "timed_out", "rejected", "breaker",
+                 "watchdog_restarts", "in_flight", "degraded"}
+
+    def test_snapshot_under_concurrent_mutation(self, registry, tiny_data):
+        from repro.serve import ModelKey
+
+        _, val_set = tiny_data
+        images = val_set.images[:8]
+        policy = BatchPolicy(max_batch_size=4, max_wait_ms=1.0, max_queue=16)
+        expected_lanes = {ModelKey.parse(s).spec for s in (SPEC, FLOAT_SPEC)}
+        stop = threading.Event()
+        errors = []
+
+        with ServeEngine(registry, policy) as engine:
+            for spec in (SPEC, FLOAT_SPEC):
+                engine.warm(spec)
+
+            def pound(spec):
+                index = 0
+                while not stop.is_set():
+                    try:
+                        handle = engine.submit(spec, images[index % len(images)])
+                        handle.result(timeout=30.0)
+                    except QueueFullError:
+                        pass
+                    except Exception as error:  # pragma: no cover - fail loud
+                        errors.append(error)
+                        return
+                    index += 1
+
+            threads = [
+                threading.Thread(target=pound, args=(spec,), daemon=True)
+                for spec in (SPEC, FLOAT_SPEC)
+                for _ in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+
+            last = {"requests_total": 0, "responses_total": 0, "rejected_total": 0}
+            for _ in range(60):
+                snap = engine.snapshot()
+                lanes = snap["lanes"]
+                assert set(lanes) == expected_lanes
+                for view in lanes.values():
+                    assert self.LANE_KEYS <= set(view)
+                    assert view["queued"] >= 0
+                    assert view["in_flight"] >= 0
+                # timeouts_total is derived from the same per-lane reads, so
+                # it must agree exactly with the views it was computed from.
+                assert snap["timeouts_total"] == sum(
+                    view["timed_out"] for view in lanes.values()
+                )
+                counters = snap["counters"]
+                for name, floor in last.items():
+                    value = counters.get(name, 0)
+                    assert value >= floor, name
+                    last[name] = value
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            final = engine.snapshot()["counters"]
+        assert not errors
+        assert final.get("responses_total", 0) > 0  # traffic actually flowed

@@ -187,3 +187,61 @@ class TestEngineCounterLabelParity:
         }
         assert len(per_spec_requests) == len(specs)
         assert sum(per_spec_requests.values()) == 10
+
+
+class TestRejectionReasonLabelParity:
+    """Every refusal funnels through ``_count_rejection``, which must keep
+    three views in lockstep: the unlabelled ``rejected_total``, the
+    per-reason ``rejections_total{reason=...}`` counters, and their
+    per-spec children — so dashboards can slice rejections by cause
+    without the totals drifting apart."""
+
+    SCRIPT = (
+        ("vit_mini_s/quq/6/full", "shed"),
+        ("vit_mini_s/quq/6/full", "shed"),
+        ("vit_mini_s/quq/4/full", "queue_full"),
+        ("vit_mini_s/quq/6/full", "timeout"),
+        ("vit_mini_s/quq/4/full", "rate_limited"),
+        ("vit_mini_s/quq/6/full", "breaker_open"),
+        ("vit_mini_s/quq/4/full", "shed"),
+    )
+
+    def _assert_parity(self, counters):
+        from repro.serve import REJECT_REASONS
+
+        assert counters["rejected_total"] == len(self.SCRIPT)
+        reason_total = 0
+        for reason in REJECT_REASONS:
+            global_name = f'rejections_total{{reason="{reason}"}}'
+            child_sum = sum(
+                value
+                for name, value in counters.items()
+                if name.startswith(f'rejections_total{{reason="{reason}",spec="')
+            )
+            assert counters.get(global_name, 0) == child_sum, reason
+            reason_total += counters.get(global_name, 0)
+        # Every rejection carries exactly one reason label.
+        assert reason_total == counters["rejected_total"]
+        # Only documented reasons ever appear on the family.
+        used = {
+            name.split('reason="', 1)[1].split('"', 1)[0]
+            for name in counters
+            if name.startswith("rejections_total{")
+        }
+        assert used == set(REJECT_REASONS)
+
+    def test_thread_engine_keeps_reason_parity(self):
+        from repro.serve import ServeEngine
+
+        engine = ServeEngine()
+        for spec, reason in self.SCRIPT:
+            engine._count_rejection(spec, reason)
+        self._assert_parity(engine.snapshot()["counters"])
+
+    def test_cluster_engine_keeps_reason_parity(self):
+        from repro.serve import ClusterEngine
+
+        engine = ClusterEngine()
+        for spec, reason in self.SCRIPT:
+            engine._count_rejection(spec, reason)
+        self._assert_parity(engine.snapshot()["counters"])

@@ -1,0 +1,101 @@
+"""Tests for the seeded traffic-trace generator."""
+
+import dataclasses
+
+import pytest
+
+from repro.serve.traces import (
+    TraceConfig,
+    generate_trace,
+    offered_rate,
+    tenant_mix,
+    trace_stats,
+)
+
+
+class TestConfigValidation:
+    def test_rejects_non_positive_rates(self):
+        with pytest.raises(ValueError):
+            TraceConfig(base_rate=0.0)
+        with pytest.raises(ValueError):
+            TraceConfig(duration_s=-1.0)
+
+    def test_rejects_bad_flash(self):
+        with pytest.raises(ValueError):
+            TraceConfig(flash_multiplier=0.5)
+        with pytest.raises(ValueError):
+            TraceConfig(flash_at=1.5)
+
+    def test_rejects_bad_tenants(self):
+        with pytest.raises(ValueError):
+            TraceConfig(tenants=0)
+        with pytest.raises(ValueError):
+            TraceConfig(tenant_skew=-0.1)
+
+
+class TestTenantMix:
+    def test_sums_to_one_and_is_skewed(self):
+        mix = tenant_mix(TraceConfig(tenants=5, tenant_skew=1.1))
+        assert sum(mix.values()) == pytest.approx(1.0)
+        shares = list(mix.values())
+        assert shares == sorted(shares, reverse=True)
+        assert shares[0] > shares[-1]
+
+    def test_zero_skew_is_uniform(self):
+        mix = tenant_mix(TraceConfig(tenants=4, tenant_skew=0.0))
+        assert all(v == pytest.approx(0.25) for v in mix.values())
+
+
+class TestOfferedRate:
+    def test_flash_window_multiplies_the_rate(self):
+        config = TraceConfig(
+            base_rate=100.0, diurnal_amplitude=0.0,
+            flash_at=0.5, flash_len=0.25, flash_multiplier=4.0,
+        )
+        start, end = config.flash_window
+        assert offered_rate(config, start - 0.01) == pytest.approx(100.0)
+        assert offered_rate(config, (start + end) / 2) == pytest.approx(400.0)
+        assert offered_rate(config, end + 0.01) == pytest.approx(100.0)
+
+    def test_diurnal_cycle_breathes_around_the_base(self):
+        config = TraceConfig(
+            base_rate=100.0, diurnal_amplitude=0.5, diurnal_period_s=4.0,
+            flash_multiplier=1.0,
+        )
+        assert offered_rate(config, 1.0) == pytest.approx(150.0)  # sin peak
+        assert offered_rate(config, 3.0) == pytest.approx(50.0)  # sin trough
+
+
+class TestGenerateTrace:
+    def test_same_seed_replays_identically(self):
+        config = TraceConfig(duration_s=2.0, base_rate=200.0, seed=7)
+        assert generate_trace(config) == generate_trace(config)
+
+    def test_different_seeds_differ(self):
+        base = TraceConfig(duration_s=2.0, base_rate=200.0, seed=1)
+        other = dataclasses.replace(base, seed=2)
+        assert generate_trace(base) != generate_trace(other)
+
+    def test_events_are_sorted_and_bounded(self):
+        config = TraceConfig(duration_s=2.0, base_rate=300.0, seed=3)
+        events = generate_trace(config)
+        times = [e.at_s for e in events]
+        assert times == sorted(times)
+        assert all(0.0 <= t <= config.duration_s for t in times)
+        assert all(e.tenant.startswith("tenant-") for e in events)
+
+    def test_flash_crowd_is_visible_in_the_stats(self):
+        config = TraceConfig(
+            duration_s=4.0, base_rate=400.0, seed=0,
+            diurnal_amplitude=0.0, flash_multiplier=4.0,
+        )
+        stats = trace_stats(generate_trace(config), config)
+        assert stats["flash_over_steady"] == pytest.approx(4.0, rel=0.25)
+        assert stats["events"] > 0
+
+    def test_stats_count_every_tenant(self):
+        config = TraceConfig(duration_s=2.0, base_rate=300.0, tenants=3, seed=5)
+        events = generate_trace(config)
+        stats = trace_stats(events, config)
+        assert sum(stats["per_tenant"].values()) == len(events)
+        assert set(stats["per_tenant"]) == set(tenant_mix(config))
