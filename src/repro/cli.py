@@ -420,10 +420,11 @@ def cmd_scale_bench(args) -> None:
     )
     from .resilience import ResiliencePolicy
     from .serve import AdmissionController, AdmissionPolicy, BatchPolicy
+    from .serve.autoscaler import AutoscalePolicy
     from .serve.cluster import ClusterEngine, ClusterPolicy
     from .serve.loadgen import _image_size
     from .serve.registry import ModelKey
-    from .serve.traces import TraceConfig, tenant_mix
+    from .serve.traces import TraceConfig, load_trace, tenant_mix
 
     seed = 0 if args.seed is None else args.seed
     try:
@@ -435,11 +436,28 @@ def cmd_scale_bench(args) -> None:
             flash_multiplier=args.flash_multiplier,
             tenants=args.tenants,
         )
+        autoscale = None
+        if not args.no_autoscale:
+            autoscale = AutoscalePolicy(
+                min_shards=args.min_shards,
+                max_shards=args.max_shards,
+                # The tick cadence is per-arrival, so sustain/cooldown are
+                # tuned for short smoke traces rather than wall-clock SLOs.
+                scale_up_sustain=2,
+                scale_down_sustain=3,
+                cooldown_s=0.5,
+                quarantine_base_s=1.0,
+            )
         config = ScaleBenchConfig(
             spec=key.spec,
             trace=trace,
+            trace_events=load_trace(args.trace) if args.trace else None,
             availability_floor=args.floor,
             kill_shard_at=None if args.no_kill else 0.5,
+            crash_burst_at=args.crash_burst_at,
+            crash_burst_kills=args.crash_burst_kills,
+            autoscale=autoscale,
+            secondary_spec=args.secondary_spec,
         )
         policy = BatchPolicy(
             max_batch_size=args.max_batch,
@@ -447,7 +465,7 @@ def cmd_scale_bench(args) -> None:
             max_queue=args.queue,
             timeout_ms=args.timeout_ms,
         )
-    except ValueError as error:
+    except (OSError, ValueError) as error:
         raise SystemExit(f"repro scale-bench: error: {error}")
     # Fair-queue weights mirror the trace's offered mix: every tenant is
     # entitled to the capacity share its long-run demand represents.
@@ -706,6 +724,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="availability floor over admitted requests")
     scale.add_argument("--no-kill", action="store_true",
                        help="skip the mid-trace shard kill")
+    scale.add_argument("--trace", default="",
+                       help="replay a recorded JSONL trace (one arrival per "
+                            "line: at_s, tenant, priority, deadline_ms) "
+                            "instead of the synthetic generator")
+    scale.add_argument("--no-autoscale", action="store_true",
+                       help="static shard pool (disable the elastic "
+                            "control plane)")
+    scale.add_argument("--min-shards", type=int, default=1, dest="min_shards",
+                       help="autoscaler floor per lane")
+    scale.add_argument("--max-shards", type=int, default=4, dest="max_shards",
+                       help="autoscaler ceiling per lane")
+    scale.add_argument("--secondary-spec", default=None, dest="secondary_spec",
+                       help="warm an idle second lane that can lend shards "
+                            "to the hot one (e.g. vit_s/quq/4)")
+    scale.add_argument("--crash-burst-at", type=float, default=None,
+                       dest="crash_burst_at",
+                       help="trace fraction at which to SIGKILL the serving "
+                            "shard repeatedly (drives the crash-loop "
+                            "quarantine; default: no burst)")
+    scale.add_argument("--crash-burst-kills", type=int, default=3,
+                       dest="crash_burst_kills",
+                       help="kills in the crash burst")
     scale.add_argument("--output", default="",
                        help="write the JSON report here ('' to skip)")
     scale.add_argument("--json", action="store_true",

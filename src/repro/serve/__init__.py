@@ -23,20 +23,33 @@ Turns the offline reproduction into a request-serving system:
   worker processes per model over shared-memory rings, supervised
   (health checks, restarts, in-flight re-routing) by the parent.
 * :mod:`repro.serve.traces` — seeded traffic traces (diurnal cycles,
-  flash crowds, heavy-tailed tenant mixes) for the scale benchmark
-  (``python -m repro scale-bench``).
+  flash crowds, heavy-tailed tenant mixes, priority bands/deadlines)
+  for the scale benchmark (``python -m repro scale-bench``), plus JSONL
+  record/replay.
+* :mod:`repro.serve.autoscaler` — elastic control plane: scales shard
+  replicas between ``min_shards``/``max_shards`` on ladder/queue/ring
+  pressure with hysteresis + cooldown, quarantines crash-looping specs
+  to float fallback with exponential respawn backoff, and lends idle
+  shard capacity to saturated lanes under a bounded borrow budget.
+* :mod:`repro.serve.timing` — the shared dual-clock deadline helper
+  (injected-clock timeout + wall-clock cap) behind every drain loop.
 """
 
-from .metrics import Counter, Distribution, Histogram, Metrics
+from .metrics import Counter, Distribution, Gauge, Histogram, Metrics
 from .drift import DriftOutcome, DriftPolicy, RecalibrationManager
 from .scheduler import (
+    DEFAULT_PRIORITY,
+    PRIORITIES,
+    PRIORITY_BANDS,
     Batch,
     BatchPolicy,
+    DeadlineExceededError,
     MicroBatchScheduler,
     QueueFullError,
     RequestTimeoutError,
     ServeRequest,
 )
+from .timing import DualDeadline, wait_until
 from .registry import ModelKey, ModelRegistry, ServableModel
 from .admission import (
     REJECT_REASONS,
@@ -49,16 +62,32 @@ from .admission import (
 )
 from .engine import ServeEngine, ServeResult
 from .cluster import ClusterEngine, ClusterPolicy
-from .traces import TraceConfig, TraceEvent, generate_trace, tenant_mix, trace_stats
+from .autoscaler import AutoscalePolicy, Autoscaler
+from .traces import (
+    TraceConfig,
+    TraceEvent,
+    generate_trace,
+    load_trace,
+    save_trace,
+    tenant_mix,
+    trace_stats,
+)
 from .loadgen import format_snapshot, run_serve_benchmark, synthetic_requests
 
 __all__ = [
     "Counter",
     "Distribution",
+    "Gauge",
     "Histogram",
     "Metrics",
     "Batch",
     "BatchPolicy",
+    "DEFAULT_PRIORITY",
+    "PRIORITIES",
+    "PRIORITY_BANDS",
+    "DeadlineExceededError",
+    "DualDeadline",
+    "wait_until",
     "MicroBatchScheduler",
     "QueueFullError",
     "RequestTimeoutError",
@@ -80,9 +109,13 @@ __all__ = [
     "ShedError",
     "ClusterEngine",
     "ClusterPolicy",
+    "AutoscalePolicy",
+    "Autoscaler",
     "TraceConfig",
     "TraceEvent",
     "generate_trace",
+    "load_trace",
+    "save_trace",
     "tenant_mix",
     "trace_stats",
     "format_snapshot",

@@ -23,11 +23,17 @@ tenant) turns into explicit, typed rejections instead of timeout storms:
   float fallback path`` (level 2, cheap requests only — mirrors the
   breaker's degraded-but-available stance) → ``reject`` (level 3, only
   starvation-guard admits survive); an open breaker under pressure
-  rejects outright with reason ``breaker_open``.
+  rejects outright with reason ``breaker_open``;
+* shedding is **priority-banded** (lowest band first): ``best_effort``
+  absorbs double the shed fraction and is dropped outright from level 2;
+  ``batch`` (the default band) sheds at the legacy credit fraction;
+  ``interactive`` rides through untouched until the level-3 reject
+  ceiling.  Each band has its own deterministic credit accumulator so
+  one band's traffic cannot consume another band's drop credit.
 
-Every decision is a pure function of (tenant, lane view, now) on an
-injected clock, so the whole ladder is unit-testable without load.  The
-engines translate refusals into ``rejections_total{reason=...}``
+Every decision is a pure function of (tenant, priority, lane view, now)
+on an injected clock, so the whole ladder is unit-testable without load.
+The engines translate refusals into ``rejections_total{reason=...}``
 counters; :data:`REJECT_REASONS` enumerates the full label set.
 """
 
@@ -39,6 +45,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..resilience.breaker import CLOSED, OPEN
+from .scheduler import DEFAULT_PRIORITY, PRIORITIES, PRIORITY_BANDS
 
 __all__ = [
     "REJECT_REASONS",
@@ -55,9 +62,11 @@ __all__ = [
 ]
 
 #: Every reason label the engines may attach to a refused or expired
-#: request.  ``queue_full`` and ``timeout`` come from the scheduler;
-#: the other three are admission-controller verdicts.
-REJECT_REASONS = ("queue_full", "timeout", "shed", "rate_limited", "breaker_open")
+#: request.  ``queue_full``, ``timeout``, and ``deadline`` come from the
+#: scheduler; the other three are admission-controller verdicts.
+REJECT_REASONS = (
+    "queue_full", "timeout", "deadline", "shed", "rate_limited", "breaker_open",
+)
 
 
 class AdmissionError(RuntimeError):
@@ -247,7 +256,10 @@ class AdmissionController:
             )
         self.fair = FairShareTracker(self.policy.fair_window)
         self._lock = threading.Lock()
-        self._shed_credit = 0.0  # deterministic drop accumulator
+        # One deterministic drop accumulator per priority band, so the
+        # same band-wise request sequence always sheds the same requests
+        # regardless of how other bands interleave.
+        self._shed_credit = {name: 0.0 for name in PRIORITIES}
         self._level = 0  # last ladder level, for observability
         self.stats = {
             "admitted": 0,
@@ -256,6 +268,7 @@ class AdmissionController:
             "breaker_rejects": 0,
             "degraded_admits": 0,
             "starvation_admits": 0,
+            "shed_by_band": {name: 0 for name in PRIORITIES},
         }
 
     # ------------------------------------------------------------------
@@ -324,8 +337,34 @@ class AdmissionController:
         base = {1: 0.25, 2: 0.5, 3: 1.0}[level]
         return min(1.0, base + (1.0 - base) * ramp)
 
-    def decide(self, tenant: str, lane: LaneView, now: float | None = None) -> Decision:
-        """Admit / degrade / refuse one request from ``tenant``."""
+    def _band_shed_fraction(self, priority: str, level: int, lane: LaneView) -> float:
+        """Band-weighted shed fraction: the lowest band is shed first.
+
+        ``batch`` keeps the legacy ladder fraction unchanged (so the
+        single-band behavior of earlier releases is the default band's
+        behavior exactly); ``best_effort`` takes double that fraction and
+        is dropped outright from level 2; ``interactive`` is untouched
+        below the level-3 reject ceiling.
+        """
+        base = self._shed_fraction(level, lane)
+        if priority == "interactive":
+            return base if level >= 3 else 0.0
+        if priority == "best_effort":
+            return 1.0 if level >= 2 else min(1.0, 2.0 * base)
+        return base
+
+    def current_level(self) -> int:
+        """Last ladder level computed by :meth:`decide` (0..3)."""
+        with self._lock:
+            return self._level
+
+    def decide(self, tenant: str, lane: LaneView, now: float | None = None,
+               priority: str = DEFAULT_PRIORITY) -> Decision:
+        """Admit / degrade / refuse one ``priority``-band request from ``tenant``."""
+        if priority not in PRIORITY_BANDS:
+            raise ValueError(
+                f"priority must be one of {PRIORITIES}, got {priority!r}"
+            )
         now = self.clock() if now is None else now
         # Rate limit first: an over-rate tenant population should see
         # rate_limited, not shed, even under simultaneous queue pressure.
@@ -373,26 +412,34 @@ class AdmissionController:
                 self.stats["starvation_admits"] += 1
             return self._admit(tenant, level, force_float)
 
-        if level >= 3:
-            return self._shed(tenant, level)
+        shed_fraction = self._band_shed_fraction(priority, level, lane)
+        if shed_fraction >= 1.0:
+            # Outright drop band: level 3 for everyone, level >= 2 for
+            # best_effort.  No credit bookkeeping — nothing survives.
+            return self._shed(tenant, level, priority)
+        if shed_fraction <= 0.0:
+            # Protected band (interactive below the reject ceiling):
+            # admitted without touching the fairness or credit machinery,
+            # though level-2 degraded admits still ride the float path.
+            return self._admit(tenant, level, force_float)
 
         # Weighted fair queuing: tenants over their fair share absorb the
         # shedding before the deterministic credit drop touches anyone.
         share = self.fair.share(tenant)
         fair_share = self.weight_share(tenant)
         if share > fair_share * self.policy.fairness_slack:
-            return self._shed(tenant, level)
+            return self._shed(tenant, level, priority)
 
-        shed_fraction = self._shed_fraction(level, lane)
         with self._lock:
-            self._shed_credit += shed_fraction
-            if self._shed_credit >= 1.0:
-                self._shed_credit -= 1.0
+            credit = self._shed_credit[priority] + shed_fraction
+            if credit >= 1.0:
+                credit -= 1.0
                 drop = True
             else:
                 drop = False
+            self._shed_credit[priority] = credit
         if drop:
-            return self._shed(tenant, level)
+            return self._shed(tenant, level, priority)
         return self._admit(tenant, level, force_float)
 
     def _admit(self, tenant: str, level: int, force_float: bool) -> Decision:
@@ -403,14 +450,16 @@ class AdmissionController:
                 self.stats["degraded_admits"] += 1
         return Decision(admitted=True, force_float=force_float, level=level)
 
-    def _shed(self, tenant: str, level: int) -> Decision:
+    def _shed(self, tenant: str, level: int,
+              priority: str = DEFAULT_PRIORITY) -> Decision:
         with self._lock:
             self.stats["shed"] += 1
+            self.stats["shed_by_band"][priority] += 1
         return Decision(
             admitted=False, reason="shed",
             error=ShedError(
                 f"load shed at degrade level {level} "
-                f"(tenant {tenant!r}); retry with backoff",
+                f"(tenant {tenant!r}, {priority} band); retry with backoff",
                 level=level,
             ),
             level=level,
@@ -420,6 +469,7 @@ class AdmissionController:
     def snapshot(self) -> dict:
         with self._lock:
             stats = dict(self.stats)
+            stats["shed_by_band"] = dict(self.stats["shed_by_band"])
             level = self._level
         return {
             **stats,

@@ -45,6 +45,18 @@ The fork start method is required: shard workers inherit the loader
 callable and the shared-memory views by address-space copy, so any
 closure (e.g. one returning a pre-built in-memory servable) is a valid
 loader without being picklable.
+
+The shard pool is **elastic**: :meth:`ClusterEngine.add_shard` spawns an
+extra replica at a fresh index, and :meth:`ClusterEngine.retire_shard`
+drains one away — the retiring shard is *fenced* (its dispatch thread
+stops pulling new batches), the in-flight batch runs to completion, and
+only then are the process and its rings released, so a scale-down can
+never lose a request.  A crash-looping spec can be **quarantined**
+(:meth:`ClusterEngine.quarantine_lane`): dead shards stay down instead
+of respawn-spinning and the dispatch threads serve batches in-parent on
+the float path until :meth:`ClusterEngine.clear_quarantine` probes the
+shards back.  The :mod:`~repro.serve.autoscaler` drives all three knobs
+from ladder/queue/crash pressure.
 """
 
 from __future__ import annotations
@@ -65,7 +77,16 @@ from .admission import AdmissionController, LaneView
 from .engine import ServeResult
 from .metrics import Metrics
 from .registry import ModelKey
-from .scheduler import Batch, BatchPolicy, MicroBatchScheduler, QueueFullError, ServeRequest
+from .scheduler import (
+    DEFAULT_PRIORITY,
+    Batch,
+    BatchPolicy,
+    DeadlineExceededError,
+    MicroBatchScheduler,
+    QueueFullError,
+    ServeRequest,
+)
+from .timing import wait_until
 
 __all__ = ["ClusterPolicy", "ClusterEngine", "default_shard_loader"]
 
@@ -276,19 +297,31 @@ class _Shard:
 
 
 class _ClusterLane:
-    """Per-model-spec queue, shard pool, breaker, and in-flight ledger."""
+    """Per-model-spec queue, shard pool, breaker, and in-flight ledger.
+
+    The pool is a dict keyed by shard index so replicas can be added and
+    retired at runtime without renumbering; ``fenced`` indices keep their
+    process and in-flight batch but pull no new work (the drain phase of
+    a scale-down), and ``quarantined`` short-circuits the whole pool to
+    the parent-side float path.
+    """
 
     def __init__(self, key: ModelKey, scheduler: MicroBatchScheduler,
-                 breaker: CircuitBreaker, shards: int):
+                 breaker: CircuitBreaker):
         self.key = key
         self.scheduler = scheduler
         self.breaker = breaker
-        self.shards: list[_Shard | None] = [None] * shards
-        self.threads: list[threading.Thread] = []
+        self.shards: dict[int, _Shard] = {}
+        self.threads: dict[int, threading.Thread] = {}
+        self.fenced: set[int] = set()
+        self.next_index = 0
         self.in_flight = 0
         self.active: list[Batch] = []
         self.reroutes = 0
         self.restarts = 0  # shard restarts, stall + crash combined
+        self.crash_times: list[float] = []  # engine-clock crash instants
+        self.quarantined = False
+        self.servable = None  # lazily-built parent replica for quarantine
         self.force_float_until = 0.0
         self.lock = threading.Lock()
 
@@ -299,6 +332,15 @@ class _ClusterLane:
     def degrade(self, until: float) -> None:
         with self.lock:
             self.force_float_until = max(self.force_float_until, until)
+
+    def is_quarantined(self) -> bool:
+        with self.lock:
+            return self.quarantined
+
+    def record_crash(self, now: float) -> None:
+        with self.lock:
+            self.crash_times.append(now)
+            del self.crash_times[:-64]  # bounded history for the autoscaler
 
 
 class _RegistryView:
@@ -416,15 +458,21 @@ class ClusterEngine:
         or ``"crash"`` (process died).
         """
         spec = lane.key.spec
-        old = lane.shards[index]
+        with lane.lock:
+            old = lane.shards.get(index)
         if old is not None:
             old.destroy()
+        if reason == "crash":
+            # Recorded before the respawn so the autoscaler's crash-loop
+            # window sees the death even if the respawn below fails too.
+            lane.record_crash(self.clock())
         shard = self._spawn_shard(lane, index)
         self._await_ready(shard)
         shard.restarts = (old.restarts + 1) if old is not None else 1
         with lane.lock:
             lane.shards[index] = shard
             lane.restarts += 1
+        self._update_live_gauge(lane)
         self.metrics.counter("shard_restarts_total").inc()
         self.metrics.counter("shard_restarts_total", labels={"spec": spec}).inc()
         if reason == "stall":
@@ -437,6 +485,15 @@ class ClusterEngine:
             self.metrics.counter("shard_crashes_total", labels={"spec": spec}).inc()
         return shard
 
+    def _update_live_gauge(self, lane: _ClusterLane) -> None:
+        with lane.lock:
+            live = sum(
+                1
+                for index, shard in lane.shards.items()
+                if index not in lane.fenced and shard.alive()
+            )
+        self.metrics.gauge("shards_live", labels={"spec": lane.key.spec}).set(live)
+
     def kill_shard(self, spec: str | ModelKey, index: int = 0) -> int:
         """SIGKILL one shard process (chaos/testing hook); returns the pid.
 
@@ -448,7 +505,7 @@ class ClusterEngine:
         with self._lock:
             lane = self._lanes[key]
         with lane.lock:
-            shard = lane.shards[index]
+            shard = lane.shards.get(index)
         if shard is None or not shard.alive():
             raise RuntimeError(f"shard {index} of {key.spec} is not running")
         pid = shard.pid
@@ -464,9 +521,11 @@ class ClusterEngine:
         if lane is None:
             return False
         restarted = False
-        for index in range(len(lane.shards)):
+        with lane.lock:
+            indices = sorted(lane.shards)
+        for index in indices:
             with lane.lock:
-                shard = lane.shards[index]
+                shard = lane.shards.get(index)
             if shard is None:
                 continue
             if shard.lock.acquire(blocking=False):  # skip busy shards
@@ -476,6 +535,179 @@ class ClusterEngine:
                 finally:
                     shard.lock.release()
         return restarted
+
+    # ------------------------------------------------------------------
+    # Elastic control surface (driven by repro.serve.autoscaler)
+    def add_shard(self, spec: str | ModelKey) -> bool:
+        """Spawn one extra replica for the spec at a fresh index.
+
+        Returns ``True`` when the shard came up ready; ``False`` when the
+        lane does not exist, the engine is stopping, or the spawn failed
+        (counted as ``shard_spawn_failures_total`` — the autoscaler's
+        crash-loop breaker reacts to repeated failures, the engine does
+        not retry on its own).
+        """
+        key = ModelKey.parse(spec) if isinstance(spec, str) else spec
+        with self._lock:
+            if self._stopping:
+                return False
+            lane = self._lanes.get(key)
+        if lane is None:
+            return False
+        with lane.lock:
+            index = lane.next_index
+            lane.next_index += 1
+        try:
+            shard = self._spawn_shard(lane, index)
+            self._await_ready(shard)
+        except Exception:
+            self.metrics.counter("shard_spawn_failures_total").inc()
+            self.metrics.counter(
+                "shard_spawn_failures_total", labels={"spec": key.spec}
+            ).inc()
+            lane.record_crash(self.clock())
+            return False
+        thread = threading.Thread(
+            target=self._dispatch_loop,
+            args=(lane, index),
+            name=f"dispatch-{key.slug}-{index}",
+            daemon=True,
+        )
+        with lane.lock:
+            lane.shards[index] = shard
+            lane.threads[index] = thread
+        thread.start()
+        self._update_live_gauge(lane)
+        self.metrics.counter("scale_ups_total").inc()
+        self.metrics.counter("scale_ups_total", labels={"spec": key.spec}).inc()
+        return True
+
+    def retire_shard(self, spec: str | ModelKey, index: int | None = None,
+                     drain_timeout_s: float = 10.0) -> bool:
+        """Drain one replica away: fence, finish in-flight, release rings.
+
+        The fenced dispatch thread pulls no new batches and exits once
+        its current batch (if any) completes; only then are the process
+        and its shared-memory segment destroyed, so a scale-down never
+        loses a request.  If the drain does not complete within
+        ``drain_timeout_s`` the fence is lifted and ``False`` returned —
+        the caller (autoscaler) simply retries on a later tick.  The last
+        unfenced shard of a lane is never retired.
+        """
+        key = ModelKey.parse(spec) if isinstance(spec, str) else spec
+        with self._lock:
+            lane = self._lanes.get(key)
+        if lane is None:
+            return False
+        with lane.lock:
+            candidates = [i for i in lane.shards if i not in lane.fenced]
+            if len(candidates) <= 1:
+                return False  # never drain the pool to zero
+            if index is None:
+                index = max(candidates)
+            elif index not in candidates:
+                return False
+            lane.fenced.add(index)
+            thread = lane.threads.get(index)
+        self._update_live_gauge(lane)
+        if thread is not None:
+            thread.join(timeout=drain_timeout_s)
+            if thread.is_alive():
+                # Still mid-batch (a stall is being ridden out): abort the
+                # retire rather than strand the batch — unfence and retry
+                # on a later autoscaler tick.
+                with lane.lock:
+                    lane.fenced.discard(index)
+                self._update_live_gauge(lane)
+                return False
+        with lane.lock:
+            shard = lane.shards.pop(index, None)
+            lane.threads.pop(index, None)
+            lane.fenced.discard(index)
+        if shard is not None:
+            if shard.alive():
+                shard.views.ctrl[C_STOP] = 1
+                shard.process.join(timeout=1.0)
+            shard.destroy()
+        self._update_live_gauge(lane)
+        self.metrics.counter("scale_downs_total").inc()
+        self.metrics.counter("scale_downs_total", labels={"spec": key.spec}).inc()
+        return True
+
+    def quarantine_lane(self, spec: str | ModelKey) -> bool:
+        """Stop respawning the spec's shards; serve in-parent float instead.
+
+        The crash-loop endpoint: dead shards stay down (no respawn
+        spinning), live ones idle, and every batch runs on a parent-side
+        replica's float path until :meth:`clear_quarantine`.
+        """
+        key = ModelKey.parse(spec) if isinstance(spec, str) else spec
+        with self._lock:
+            lane = self._lanes.get(key)
+        if lane is None:
+            return False
+        with lane.lock:
+            if lane.quarantined:
+                return False
+            lane.quarantined = True
+        self.metrics.gauge("lane_quarantined", labels={"spec": key.spec}).set(1)
+        self.metrics.counter("quarantines_total").inc()
+        self.metrics.counter("quarantines_total", labels={"spec": key.spec}).inc()
+        return True
+
+    def clear_quarantine(self, spec: str | ModelKey) -> bool:
+        """Lift the quarantine: the next batch on a dead shard respawns it
+        (the recovery probe — if the spec still crash-loops, the
+        autoscaler re-quarantines with a longer backoff)."""
+        key = ModelKey.parse(spec) if isinstance(spec, str) else spec
+        with self._lock:
+            lane = self._lanes.get(key)
+        if lane is None:
+            return False
+        with lane.lock:
+            if not lane.quarantined:
+                return False
+            lane.quarantined = False
+        self.metrics.gauge("lane_quarantined", labels={"spec": key.spec}).set(0)
+        return True
+
+    def lane_specs(self) -> list[str]:
+        """Specs with live lanes, sorted for deterministic iteration."""
+        with self._lock:
+            return sorted(lane.key.spec for lane in self._lanes.values())
+
+    def shard_count(self, spec: str | ModelKey) -> int:
+        """Unfenced shards currently serving the spec (0 if no lane)."""
+        key = ModelKey.parse(spec) if isinstance(spec, str) else spec
+        with self._lock:
+            lane = self._lanes.get(key)
+        if lane is None:
+            return 0
+        with lane.lock:
+            return len([i for i in lane.shards if i not in lane.fenced])
+
+    def lane_stats(self, spec: str | ModelKey) -> dict | None:
+        """One consistent pressure/health reading for the autoscaler."""
+        key = ModelKey.parse(spec) if isinstance(spec, str) else spec
+        with self._lock:
+            lane = self._lanes.get(key)
+        if lane is None:
+            return None
+        queued = lane.scheduler.qsize()
+        with lane.lock:
+            unfenced = [i for i in lane.shards if i not in lane.fenced]
+            return {
+                "spec": key.spec,
+                "queue_depth": queued,
+                "queue_capacity": self.policy.max_queue,
+                "in_flight": lane.in_flight,
+                "shards": len(unfenced),
+                "shards_alive": sum(
+                    1 for i in unfenced if lane.shards[i].alive()
+                ),
+                "quarantined": lane.quarantined,
+                "crash_times": list(lane.crash_times),
+            }
 
     # ------------------------------------------------------------------
     # Lane lifecycle
@@ -490,8 +722,8 @@ class ClusterEngine:
                 key,
                 MicroBatchScheduler(
                     self.policy, clock=self.clock,
-                    on_expire=lambda _req, spec=key.spec: self._count_rejection(
-                        spec, "timeout"
+                    on_expire=lambda req, spec=key.spec: self._count_expiry(
+                        spec, req
                     ),
                 ),
                 CircuitBreaker(
@@ -499,22 +731,23 @@ class ClusterEngine:
                     cooldown_s=self.resilience.breaker_cooldown_s,
                     clock=self.clock,
                 ),
-                shards=self.cluster.shards,
             )
             self._lanes[key] = lane
         for index in range(self.cluster.shards):
             shard = self._spawn_shard(lane, index)
             self._await_ready(shard)
-            with lane.lock:
-                lane.shards[index] = shard
             thread = threading.Thread(
                 target=self._dispatch_loop,
                 args=(lane, index),
                 name=f"dispatch-{key.slug}-{index}",
                 daemon=True,
             )
-            lane.threads.append(thread)
+            with lane.lock:
+                lane.shards[index] = shard
+                lane.threads[index] = thread
+                lane.next_index = index + 1
             thread.start()
+        self._update_live_gauge(lane)
         return lane
 
     def warm(self, spec: str | ModelKey) -> None:
@@ -532,11 +765,28 @@ class ClusterEngine:
             "rejections_total", labels={"reason": reason, "spec": spec}
         ).inc()
 
+    def _count_deadline_miss(self, spec: str, priority: str) -> None:
+        self.metrics.counter("deadline_misses_total").inc()
+        self.metrics.counter(
+            "deadline_misses_total", labels={"band": priority}
+        ).inc()
+        self.metrics.counter(
+            "deadline_misses_total", labels={"band": priority, "spec": spec}
+        ).inc()
+
+    def _count_expiry(self, spec: str, request: ServeRequest) -> None:
+        reason = request.expire_reason or "timeout"
+        self._count_rejection(spec, reason)
+        if reason == "deadline":
+            self._count_deadline_miss(spec, request.priority)
+
     def submit(
-        self, spec: str | ModelKey, image: np.ndarray, tenant: str = "default"
+        self, spec: str | ModelKey, image: np.ndarray, tenant: str = "default",
+        priority: str = DEFAULT_PRIORITY, deadline_ms: float | None = None,
     ) -> ServeRequest:
         """Enqueue one image onto the spec's lane (see
-        :meth:`ServeEngine.submit` for the admission/rejection contract)."""
+        :meth:`ServeEngine.submit` for the admission/rejection and
+        priority/deadline contract)."""
         key = ModelKey.parse(spec) if isinstance(spec, str) else spec
         lane = self._lane(key)
         image = np.asarray(image, dtype=np.float32)
@@ -556,6 +806,7 @@ class ClusterEngine:
                     breaker_state=lane.breaker.state,
                 ),
                 now=now,
+                priority=priority,
             )
             if not decision.admitted:
                 self._count_rejection(key.spec, decision.reason)
@@ -563,7 +814,9 @@ class ClusterEngine:
             if decision.force_float:
                 lane.degrade(now + self.admission.policy.degrade_hold_s)
         try:
-            request = lane.scheduler.submit(image)
+            request = lane.scheduler.submit(
+                image, priority=priority, deadline_ms=deadline_ms
+            )
         except QueueFullError:
             self._count_rejection(key.spec, "queue_full")
             raise
@@ -577,10 +830,15 @@ class ClusterEngine:
     def _dispatch_loop(self, lane: _ClusterLane, index: int) -> None:
         while not self._stopping:
             with lane.lock:
+                if index not in lane.shards or index in lane.fenced:
+                    return  # retired or draining: stop pulling work
                 idle = lane.in_flight == 0
             batch = lane.scheduler.wait_for_batch(timeout=0.1, idle=idle)
             if batch is None:
                 continue
+            # A fence raised during wait_for_batch does not strand this
+            # batch: it runs to completion below, and retire_shard joins
+            # this thread before releasing the rings.
             with lane.lock:
                 lane.in_flight += 1
                 lane.active.append(batch)
@@ -652,9 +910,46 @@ class ClusterEngine:
         for request in batch.requests:
             request.set_exception(error, now=now)
 
+    def _parent_servable(self, lane: _ClusterLane):
+        """Lazily build the parent-side replica quarantine serving uses."""
+        with lane.lock:
+            servable = lane.servable
+        if servable is None:
+            servable = self.loader(lane.key.spec)
+            with lane.lock:
+                if lane.servable is None:
+                    lane.servable = servable
+                servable = lane.servable
+        return servable
+
+    def _run_quarantined(self, lane: _ClusterLane, batch: Batch,
+                         started: float) -> None:
+        """Serve one batch in-parent on the float path (quarantine mode,
+        also the fallback when a batch races a retired shard index)."""
+        spec = lane.key.spec
+        try:
+            servable = self._parent_servable(lane)
+            logits = np.asarray(
+                servable.predict_float(batch.images), dtype=np.float32
+            )
+            verdict = self.guard.scan(logits)
+            if not verdict.ok:
+                raise NumericGuardError(verdict.reason)
+        except Exception as error:
+            self._fail_batch(lane, batch, error)
+            return
+        self.metrics.counter("quarantine_batches_total").inc()
+        self.metrics.counter(
+            "quarantine_batches_total", labels={"spec": spec}
+        ).inc()
+        self._complete_batch(lane, batch, logits, quantized=False, started=started)
+
     def _run_batch(self, lane: _ClusterLane, index: int, batch: Batch) -> None:
         spec = lane.key.spec
         started = self.clock()
+        if lane.is_quarantined():
+            self._run_quarantined(lane, batch, started)
+            return
         # Injected stall: delivered into the shard through the slot header
         # so the worker process itself goes silent (no parent-side sleep).
         stall_ns = 0
@@ -676,9 +971,17 @@ class ClusterEngine:
                 )
                 return
             with lane.lock:
-                shard = lane.shards[index]
+                shard = lane.shards.get(index)
+            if shard is None or lane.is_quarantined():
+                # Index retired under us, or the autoscaler quarantined the
+                # spec mid-flight: serve in-parent rather than respawn.
+                self._run_quarantined(lane, batch, started)
+                return
             with shard.lock:
                 if not shard.alive():
+                    if lane.is_quarantined():
+                        self._run_quarantined(lane, batch, started)
+                        return
                     try:
                         shard = self._restart_shard(lane, index, reason="crash")
                     except Exception as error:
@@ -699,6 +1002,11 @@ class ClusterEngine:
                         continue
                 outcome = self._dispatch(shard, batch, mode, stall_ns)
                 if outcome[0] == "lost":
+                    if lane.is_quarantined():
+                        # Crash-loop endpoint: stop respawning, serve the
+                        # batch in-parent on the float path instead.
+                        self._run_quarantined(lane, batch, started)
+                        return
                     # Respawn under the same shard lock as the dispatch so
                     # check_watchdog cannot race us into a double restart.
                     try:
@@ -754,6 +1062,7 @@ class ClusterEngine:
     def _complete_batch(
         self, lane, batch: Batch, logits: np.ndarray, quantized: bool, started: float
     ) -> None:
+        spec = lane.key.spec
         finished = self.clock()
         self.metrics.counter("batches_total").inc()
         self.metrics.distribution("batch_size").observe(len(batch))
@@ -766,6 +1075,19 @@ class ClusterEngine:
             self.metrics.histogram("e2e_latency_ms").observe(
                 (finished - request.enqueued_at) * 1e3
             )
+            if request.deadline_at is not None and finished > request.deadline_at:
+                # Never silently serve a late result: fail fast, typed.
+                late_ms = (finished - request.deadline_at) * 1e3
+                self._count_rejection(spec, "deadline")
+                self._count_deadline_miss(spec, request.priority)
+                request.set_exception(
+                    DeadlineExceededError(
+                        f"completed {late_ms:.1f} ms past the deadline "
+                        f"({request.priority} request); result withheld"
+                    ),
+                    now=finished,
+                )
+                continue
             self.metrics.counter("responses_total").inc()
             request.set_result(
                 ServeResult(int(label), row, len(batch), quantized), now=finished
@@ -787,10 +1109,15 @@ class ClusterEngine:
             lanes = list(self._lanes.values())
         restarted = []
         for lane in lanes:
-            for index in range(len(lane.shards)):
+            if lane.is_quarantined():
+                continue  # quarantined specs stay down until cleared
+            with lane.lock:
+                indices = sorted(lane.shards)
+            for index in indices:
                 with lane.lock:
-                    shard = lane.shards[index]
-                if shard is None or shard.alive():
+                    shard = lane.shards.get(index)
+                    fenced = index in lane.fenced
+                if shard is None or fenced or shard.alive():
                     continue
                 if not shard.lock.acquire(blocking=False):
                     continue  # its dispatch thread is already handling it
@@ -811,11 +1138,13 @@ class ClusterEngine:
             with lane.lock:
                 shards[lane.key.spec] = [
                     {
-                        "alive": s.alive() if s is not None else False,
-                        "pid": s.pid if s is not None else None,
-                        "restarts": s.restarts if s is not None else 0,
+                        "index": index,
+                        "alive": s.alive(),
+                        "pid": s.pid,
+                        "restarts": s.restarts,
+                        "fenced": index in lane.fenced,
                     }
-                    for s in lane.shards
+                    for index, s in sorted(lane.shards.items())
                 ]
         return {
             "entries": [lane.key.spec for lane in lanes],
@@ -838,13 +1167,16 @@ class ClusterEngine:
                         "in_flight": lane.in_flight,
                         "reroutes": lane.reroutes,
                         "degraded": self.clock() < lane.force_float_until,
+                        "quarantined": lane.quarantined,
                         "shards": [
                             {
-                                "alive": s.alive() if s is not None else False,
-                                "pid": s.pid if s is not None else None,
-                                "restarts": s.restarts if s is not None else 0,
+                                "index": index,
+                                "alive": s.alive(),
+                                "pid": s.pid,
+                                "restarts": s.restarts,
+                                "fenced": index in lane.fenced,
                             }
-                            for s in lane.shards
+                            for index, s in sorted(lane.shards.items())
                         ],
                     }
         timeouts = sum(view["timed_out"] for view in lane_views.values())
@@ -859,18 +1191,16 @@ class ClusterEngine:
         return self.metrics.snapshot(extra=extra)
 
     def drain(self, timeout: float = 30.0, wall_cap: float | None = None) -> bool:
-        deadline = self.clock() + timeout
-        wall_deadline = time.monotonic() + (timeout if wall_cap is None else wall_cap)
-        while self.clock() < deadline and time.monotonic() < wall_deadline:
+        """Wait until every queue is empty and nothing is in flight
+        (:func:`~repro.serve.timing.wait_until` dual-deadline semantics)."""
+        def settled() -> bool:
             with self._lock:
                 lanes = list(self._lanes.values())
-            busy = any(
+            return not any(
                 lane.scheduler.qsize() > 0 or lane.in_flight > 0 for lane in lanes
             )
-            if not busy:
-                return True
-            time.sleep(0.002)
-        return False
+
+        return wait_until(settled, self.clock, timeout, wall_cap)
 
     def stop(self) -> None:
         self._stopping = True
@@ -886,12 +1216,16 @@ class ClusterEngine:
         for lane in lanes:
             lane.scheduler.close()
         for lane in lanes:
-            for thread in lane.threads:
+            with lane.lock:
+                threads = list(lane.threads.values())
+            for thread in threads:
                 thread.join(timeout=5.0)
         for lane in lanes:
             with lane.lock:
-                shards = [s for s in lane.shards if s is not None]
-                lane.shards = [None] * len(lane.shards)
+                shards = list(lane.shards.values())
+                lane.shards = {}
+                lane.threads = {}
+                lane.fenced = set()
             for shard in shards:
                 if shard.alive():
                     shard.views.ctrl[C_STOP] = 1

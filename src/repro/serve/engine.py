@@ -52,7 +52,16 @@ from .admission import AdmissionController, LaneView
 from .drift import DriftPolicy, RecalibrationManager
 from .metrics import Metrics
 from .registry import ModelKey, ModelRegistry
-from .scheduler import Batch, BatchPolicy, MicroBatchScheduler, QueueFullError, ServeRequest
+from .scheduler import (
+    DEFAULT_PRIORITY,
+    Batch,
+    BatchPolicy,
+    DeadlineExceededError,
+    MicroBatchScheduler,
+    QueueFullError,
+    ServeRequest,
+)
+from .timing import wait_until
 
 __all__ = ["ServeResult", "ServeEngine"]
 
@@ -153,8 +162,8 @@ class ServeEngine:
                     key,
                     MicroBatchScheduler(
                         self.policy, clock=self.clock,
-                        on_expire=lambda _req, spec=key.spec: self._count_rejection(
-                            spec, "timeout"
+                        on_expire=lambda req, spec=key.spec: self._count_expiry(
+                            spec, req
                         ),
                     ),
                     CircuitBreaker(
@@ -194,8 +203,29 @@ class ServeEngine:
             "rejections_total", labels={"reason": reason, "spec": spec}
         ).inc()
 
+    def _count_deadline_miss(self, spec: str, priority: str) -> None:
+        """One request that could not meet its deadline: the per-band
+        ``deadline_misses_total`` family (global + {band} + {band, spec},
+        same parity pattern as ``rejections_total``)."""
+        self.metrics.counter("deadline_misses_total").inc()
+        self.metrics.counter(
+            "deadline_misses_total", labels={"band": priority}
+        ).inc()
+        self.metrics.counter(
+            "deadline_misses_total", labels={"band": priority, "spec": spec}
+        ).inc()
+
+    def _count_expiry(self, spec: str, request: ServeRequest) -> None:
+        """Queue-expiry accounting: the scheduler tells us whether the
+        request died of the policy timeout or its own deadline."""
+        reason = request.expire_reason or "timeout"
+        self._count_rejection(spec, reason)
+        if reason == "deadline":
+            self._count_deadline_miss(spec, request.priority)
+
     def submit(
-        self, spec: str | ModelKey, image: np.ndarray, tenant: str = "default"
+        self, spec: str | ModelKey, image: np.ndarray, tenant: str = "default",
+        priority: str = DEFAULT_PRIORITY, deadline_ms: float | None = None,
     ) -> ServeRequest:
         """Enqueue one image; returns the request handle to wait on.
 
@@ -208,6 +238,13 @@ class ServeEngine:
         family) and the queue-depth distribution; every refusal
         increments ``rejected_total`` (global and per-lane) plus the
         reason-labelled ``rejections_total`` family.
+
+        ``priority`` selects the shedding/scheduling band
+        (:data:`~repro.serve.scheduler.PRIORITIES`); ``deadline_ms``
+        (optional) fails the request with
+        :class:`~repro.serve.scheduler.DeadlineExceededError` if it
+        cannot be served in time — late results are never silently
+        delivered.
         """
         key = ModelKey.parse(spec) if isinstance(spec, str) else spec
         lane = self._lane(key)
@@ -221,6 +258,7 @@ class ServeEngine:
                     breaker_state=lane.breaker.state,
                 ),
                 now=now,
+                priority=priority,
             )
             if not decision.admitted:
                 self._count_rejection(key.spec, decision.reason)
@@ -228,7 +266,10 @@ class ServeEngine:
             if decision.force_float:
                 lane.degrade(now + self.admission.policy.degrade_hold_s)
         try:
-            request = lane.scheduler.submit(np.asarray(image, dtype=np.float32))
+            request = lane.scheduler.submit(
+                np.asarray(image, dtype=np.float32),
+                priority=priority, deadline_ms=deadline_ms,
+            )
         except QueueFullError:
             self._count_rejection(key.spec, "queue_full")
             raise
@@ -352,6 +393,20 @@ class ServeEngine:
             self.metrics.histogram("e2e_latency_ms").observe(
                 (finished - request.enqueued_at) * 1e3
             )
+            if request.deadline_at is not None and finished > request.deadline_at:
+                # The answer exists but arrived late: fail fast rather
+                # than silently serving past the deadline the caller set.
+                late_ms = (finished - request.deadline_at) * 1e3
+                self._count_rejection(spec, "deadline")
+                self._count_deadline_miss(spec, request.priority)
+                request.set_exception(
+                    DeadlineExceededError(
+                        f"completed {late_ms:.1f} ms past the deadline "
+                        f"({request.priority} request); result withheld"
+                    ),
+                    now=finished,
+                )
+                continue
             self.metrics.counter("responses_total").inc()
             request.set_result(
                 ServeResult(int(label), row, len(batch), quantized),
@@ -437,20 +492,16 @@ class ServeEngine:
         ``timeout`` is measured on the injected engine clock, so
         fake-clock tests can exercise the deadline; ``wall_cap`` (default:
         ``timeout``) is a real-time safety bound so a clock that never
-        advances cannot spin forever.
+        advances cannot spin forever (:func:`~repro.serve.timing.wait_until`).
         """
-        deadline = self.clock() + timeout
-        wall_deadline = time.monotonic() + (timeout if wall_cap is None else wall_cap)
-        while self.clock() < deadline and time.monotonic() < wall_deadline:
+        def settled() -> bool:
             with self._lock:
                 lanes = list(self._lanes.values())
-            busy = any(
+            return not any(
                 lane.scheduler.qsize() > 0 or lane.in_flight > 0 for lane in lanes
             )
-            if not busy:
-                return True
-            time.sleep(0.002)
-        return False
+
+        return wait_until(settled, self.clock, timeout, wall_cap)
 
     def stop(self) -> None:
         self._stopping = True

@@ -14,7 +14,7 @@ import threading
 
 import numpy as np
 
-__all__ = ["Counter", "Distribution", "Histogram", "Metrics"]
+__all__ = ["Counter", "Distribution", "Gauge", "Histogram", "Metrics"]
 
 
 def _labelled(name: str, labels: dict | None) -> str:
@@ -39,6 +39,31 @@ class Counter:
     @property
     def value(self) -> int:
         return self._value
+
+
+class Gauge:
+    """Point-in-time value that can move both ways (e.g. live shard count)."""
+
+    def __init__(self):
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
 
 
 class Distribution:
@@ -166,11 +191,16 @@ class Metrics:
         self._counters: dict[str, Counter] = {}
         self._distributions: dict[str, Distribution] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._gauges: dict[str, Gauge] = {}
         self._lock = threading.Lock()
 
     def counter(self, name: str, labels: dict | None = None) -> Counter:
         with self._lock:
             return self._counters.setdefault(_labelled(name, labels), Counter())
+
+    def gauge(self, name: str, labels: dict | None = None) -> Gauge:
+        with self._lock:
+            return self._gauges.setdefault(_labelled(name, labels), Gauge())
 
     def distribution(self, name: str, labels: dict | None = None) -> Distribution:
         with self._lock:
@@ -186,6 +216,7 @@ class Metrics:
             counters = dict(self._counters)
             distributions = dict(self._distributions)
             histograms = dict(self._histograms)
+            gauges = dict(self._gauges)
         out: dict = {
             "counters": {name: c.value for name, c in sorted(counters.items())},
             "distributions": {
@@ -194,6 +225,7 @@ class Metrics:
             "histograms": {
                 name: h.snapshot() for name, h in sorted(histograms.items())
             },
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
         }
         if extra:
             out.update(extra)

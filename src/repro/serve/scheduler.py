@@ -12,6 +12,14 @@ scheduler coalesces the queue into NumPy batches under a
   timer; coalescing happens while the worker is busy with the previous
   batch).
 
+Requests carry a **priority band** (:data:`PRIORITIES`: ``interactive``
+> ``batch`` > ``best_effort``) and an optional **deadline**: the queue is
+ordered earliest-deadline-first *within* priority bands (band first, then
+deadline, then FIFO arrival), and a request whose deadline passes while
+queued is failed fast with :class:`DeadlineExceededError` — never
+silently served late.  Requests without a deadline still expire under the
+policy-wide ``timeout_ms``.
+
 Bounded queue with reject-with-reason backpressure, per-request timeouts
 while queued, and an injectable clock so every policy decision is unit
 testable without sleeping: :meth:`MicroBatchScheduler.poll` is a pure
@@ -20,20 +28,37 @@ state transition on (queue, now).
 
 from __future__ import annotations
 
+import bisect
+import math
 import threading
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .timing import DualDeadline
+
 __all__ = [
+    "PRIORITIES",
+    "PRIORITY_BANDS",
+    "DEFAULT_PRIORITY",
     "BatchPolicy",
     "Batch",
     "QueueFullError",
     "RequestTimeoutError",
+    "DeadlineExceededError",
     "ServeRequest",
     "MicroBatchScheduler",
 ]
+
+#: Priority bands, highest first.  The scheduler serves lower band
+#: indices first; the admission ladder sheds higher band indices first.
+PRIORITIES = ("interactive", "batch", "best_effort")
+PRIORITY_BANDS = {name: index for index, name in enumerate(PRIORITIES)}
+#: The band requests land in when the caller does not say — the middle
+#: band, so unlabelled traffic neither preempts interactive work nor is
+#: discarded with the best-effort tier.
+DEFAULT_PRIORITY = "batch"
 
 
 class QueueFullError(RuntimeError):
@@ -45,7 +70,18 @@ class QueueFullError(RuntimeError):
 
 
 class RequestTimeoutError(TimeoutError):
-    """The request exceeded its deadline while waiting in the queue."""
+    """The request exceeded the policy timeout while waiting in the queue."""
+
+
+class DeadlineExceededError(TimeoutError):
+    """The request's own deadline passed before it could be served.
+
+    Raised both for requests that expire while queued and for requests
+    that complete after their deadline (late results are failed, never
+    silently served).  ``reason`` matches the ``rejections_total`` label.
+    """
+
+    reason = "deadline"
 
 
 @dataclass
@@ -75,15 +111,27 @@ class ServeRequest:
     load where thousands of submitters wait concurrently.
     """
 
-    def __init__(self, payload: np.ndarray, enqueued_at: float):
+    def __init__(self, payload: np.ndarray, enqueued_at: float,
+                 priority: str = DEFAULT_PRIORITY,
+                 deadline_at: float | None = None, seq: int = 0):
         self.payload = payload
         self.enqueued_at = enqueued_at
+        self.priority = priority
+        self.band = PRIORITY_BANDS.get(priority, PRIORITY_BANDS[DEFAULT_PRIORITY])
+        self.deadline_at = deadline_at
+        self.seq = seq  # submission order, the FIFO tie-break within a band
         self.dispatched_at: float | None = None
         self.completed_at: float | None = None
+        self.expire_reason: str | None = None  # "timeout" | "deadline" once expired
         self._cond = threading.Condition()
         self._completed = False
         self._result = None
         self._error: BaseException | None = None
+
+    def sort_key(self) -> tuple:
+        """Queue order: priority band, then earliest deadline, then FIFO."""
+        deadline = self.deadline_at if self.deadline_at is not None else math.inf
+        return (self.band, deadline, self.seq)
 
     # ------------------------------------------------------------------
     # Completion is first-wins: a watchdog-abandoned worker finishing late,
@@ -144,6 +192,9 @@ class Batch:
 class MicroBatchScheduler:
     """Coalesce single requests into batches under a :class:`BatchPolicy`.
 
+    The queue is kept sorted by :meth:`ServeRequest.sort_key` (priority
+    band, then deadline, then arrival), so batch assembly is a prefix
+    slice and the head of the queue is always the most urgent request.
     The decision logic (:meth:`poll`, :meth:`expire_timeouts`,
     :meth:`next_event`) takes an explicit ``now`` so tests drive it with a
     fake clock; :meth:`wait_for_batch` is the blocking wrapper the engine's
@@ -155,6 +206,7 @@ class MicroBatchScheduler:
         self.policy = BatchPolicy() if policy is None else policy
         self.clock = clock
         self._queue: list[ServeRequest] = []
+        self._seq = 0
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._closed = False
@@ -162,12 +214,26 @@ class MicroBatchScheduler:
         self.rejected: int = 0  # total submissions refused (queue full / closed)
         # Called once per expired request (after its exception is set),
         # with the scheduler lock held — must not re-enter the scheduler.
-        # The engine uses it to count timeouts in its rejection metrics.
+        # The engine uses it to count timeouts/deadline misses in its
+        # rejection metrics; request.expire_reason says which it was.
         self._on_expire = on_expire
 
     # ------------------------------------------------------------------
-    def submit(self, payload: np.ndarray, now: float | None = None) -> ServeRequest:
-        """Enqueue one image; raises :class:`QueueFullError` on backpressure."""
+    def submit(self, payload: np.ndarray, now: float | None = None,
+               priority: str = DEFAULT_PRIORITY,
+               deadline_ms: float | None = None) -> ServeRequest:
+        """Enqueue one image; raises :class:`QueueFullError` on backpressure.
+
+        ``priority`` must be a :data:`PRIORITIES` member; ``deadline_ms``
+        (optional, relative to submit time) fails the request with
+        :class:`DeadlineExceededError` if it cannot be served in time.
+        """
+        if priority not in PRIORITY_BANDS:
+            raise ValueError(
+                f"priority must be one of {PRIORITIES}, got {priority!r}"
+            )
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {deadline_ms}")
         with self._wakeup:
             now = self.clock() if now is None else now
             if self._closed:
@@ -180,8 +246,13 @@ class MicroBatchScheduler:
                     f"queue full ({len(self._queue)}/{self.policy.max_queue} "
                     f"requests waiting); retry later"
                 )
-            request = ServeRequest(payload, enqueued_at=now)
-            self._queue.append(request)
+            deadline_at = None if deadline_ms is None else now + deadline_ms / 1000.0
+            request = ServeRequest(
+                payload, enqueued_at=now, priority=priority,
+                deadline_at=deadline_at, seq=self._seq,
+            )
+            self._seq += 1
+            bisect.insort(self._queue, request, key=ServeRequest.sort_key)
             self._wakeup.notify_all()
             return request
 
@@ -205,21 +276,37 @@ class MicroBatchScheduler:
             }
 
     # ------------------------------------------------------------------
+    def _expires_at(self, request: ServeRequest) -> float:
+        """When the request dies in the queue: its own deadline or the
+        policy timeout, whichever lands first."""
+        timeout_at = request.enqueued_at + self.policy.timeout_ms / 1000.0
+        if request.deadline_at is None:
+            return timeout_at
+        return min(timeout_at, request.deadline_at)
+
     def _expire_locked(self, now: float) -> list[ServeRequest]:
-        deadline = self.policy.timeout_ms / 1000.0
-        expired = [r for r in self._queue if now - r.enqueued_at >= deadline]
+        expired = [r for r in self._queue if now >= self._expires_at(r)]
         if expired:
             self._queue = [r for r in self._queue if r not in expired]
             self.timed_out += len(expired)
             for request in expired:
                 waited_ms = (now - request.enqueued_at) * 1000.0
-                request.set_exception(
-                    RequestTimeoutError(
+                timeout_at = (
+                    request.enqueued_at + self.policy.timeout_ms / 1000.0
+                )
+                if request.deadline_at is not None and request.deadline_at <= timeout_at:
+                    request.expire_reason = "deadline"
+                    error: BaseException = DeadlineExceededError(
+                        f"deadline passed after {waited_ms:.1f} ms in queue "
+                        f"({request.priority} request); failed fast"
+                    )
+                else:
+                    request.expire_reason = "timeout"
+                    error = RequestTimeoutError(
                         f"timed out after {waited_ms:.1f} ms in queue "
                         f"(limit {self.policy.timeout_ms:.1f} ms)"
-                    ),
-                    now=now,
-                )
+                    )
+                request.set_exception(error, now=now)
                 if self._on_expire is not None:
                     self._on_expire(request)
         return expired
@@ -233,9 +320,10 @@ class MicroBatchScheduler:
         self._expire_locked(now)
         if not self._queue:
             return None  # timer fired on an empty queue: nothing to flush
+        oldest = min(r.enqueued_at for r in self._queue)
         if len(self._queue) >= self.policy.max_batch_size:
             reason = "full"
-        elif now - self._queue[0].enqueued_at >= self.policy.max_wait_ms / 1000.0:
+        elif now - oldest >= self.policy.max_wait_ms / 1000.0:
             reason = "timer"
         elif idle:
             reason = "idle"
@@ -257,39 +345,37 @@ class MicroBatchScheduler:
             return self._poll_locked(self.clock() if now is None else now, idle)
 
     def next_event(self, now: float | None = None) -> float | None:
-        """Seconds until the next flush or timeout is due (None if empty)."""
+        """Seconds until the next flush or expiry is due (None if empty)."""
         with self._lock:
             now = self.clock() if now is None else now
             if not self._queue:
                 return None
-            oldest = self._queue[0].enqueued_at
+            oldest = min(r.enqueued_at for r in self._queue)
             flush_at = oldest + self.policy.max_wait_ms / 1000.0
-            expire_at = min(r.enqueued_at for r in self._queue) + (
-                self.policy.timeout_ms / 1000.0
-            )
+            expire_at = min(self._expires_at(r) for r in self._queue)
             return max(0.0, min(flush_at, expire_at) - now)
 
     # ------------------------------------------------------------------
     def wait_for_batch(self, timeout: float, idle: bool = True) -> Batch | None:
-        """Block up to ``timeout`` seconds for a dispatchable batch."""
-        deadline = self.clock() + timeout
+        """Block up to ``timeout`` seconds for a dispatchable batch.
+
+        The timeout runs on the injected clock with an equal wall-clock
+        cap (:class:`~repro.serve.timing.DualDeadline`), so a frozen fake
+        clock cannot pin the calling worker thread forever.
+        """
+        deadline = DualDeadline(self.clock, timeout)
         with self._wakeup:
             while True:
                 now = self.clock()
                 batch = self._poll_locked(now, idle)
                 if batch is not None:
                     return batch
-                if self._closed or now >= deadline:
+                if self._closed or deadline.expired(now):
                     return None
-                wait = deadline - now
-                next_due = None
+                wait = deadline.remaining(now)
                 if self._queue:
-                    next_due = (
-                        self._queue[0].enqueued_at
-                        + self.policy.max_wait_ms / 1000.0
-                        - now
-                    )
-                if next_due is not None:
+                    oldest = min(r.enqueued_at for r in self._queue)
+                    next_due = oldest + self.policy.max_wait_ms / 1000.0 - now
                     wait = min(wait, max(next_due, 0.0))
                 self._wakeup.wait(max(wait, 1e-4))
 

@@ -248,7 +248,7 @@ class FakeAdmission:
     def attach_latency_probe(self, probe):
         self.probe = probe
 
-    def decide(self, tenant, lane, now=None):
+    def decide(self, tenant, lane, now=None, priority="batch"):
         return self.decision
 
     def snapshot(self):

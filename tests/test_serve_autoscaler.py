@@ -1,0 +1,408 @@
+"""Tests for the elastic control plane (autoscaler policy loop).
+
+The autoscaler is deliberately duck-typed over the engine surface, so
+the whole policy — hysteresis, cooldown, crash-loop quarantine with
+exponential backoff, drained scale-down, capacity borrowing — is driven
+here against a fake engine on a fake clock, with zero processes.
+"""
+
+import pytest
+
+from repro.serve.autoscaler import AutoscalePolicy, Autoscaler
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class FakeLane:
+    def __init__(self, shards=1, capacity=64):
+        self.shards = shards
+        self.queue_depth = 0
+        self.queue_capacity = capacity
+        self.in_flight = 0
+        self.quarantined = False
+        self.crash_times = []
+        self.retire_drains = True  # set False to simulate a stuck drain
+
+
+class FakeElasticEngine:
+    """Bookkeeping double for the ClusterEngine elastic surface."""
+
+    def __init__(self, specs=("vit_s/quq/6",), shards=1):
+        self.lanes = {spec: FakeLane(shards=shards) for spec in specs}
+        self.calls = []
+
+    def lane_specs(self):
+        return sorted(self.lanes)
+
+    def lane_stats(self, spec):
+        lane = self.lanes.get(spec)
+        if lane is None:
+            return None
+        return {
+            "spec": spec,
+            "queue_depth": lane.queue_depth,
+            "queue_capacity": lane.queue_capacity,
+            "in_flight": lane.in_flight,
+            "shards": lane.shards,
+            "quarantined": lane.quarantined,
+            "crash_times": list(lane.crash_times),
+        }
+
+    def add_shard(self, spec):
+        self.calls.append(("add", spec))
+        self.lanes[spec].shards += 1
+        return True
+
+    def retire_shard(self, spec, index=None, drain_timeout_s=10.0):
+        lane = self.lanes[spec]
+        self.calls.append(("retire", spec))
+        if not lane.retire_drains or lane.shards <= 1:
+            return False
+        lane.shards -= 1
+        return True
+
+    def quarantine_lane(self, spec):
+        self.calls.append(("quarantine", spec))
+        self.lanes[spec].quarantined = True
+        return True
+
+    def clear_quarantine(self, spec):
+        self.calls.append(("clear", spec))
+        self.lanes[spec].quarantined = False
+        return True
+
+
+SPEC = "vit_s/quq/6"
+
+
+def make_scaler(engine=None, **overrides):
+    clock = FakeClock()
+    defaults = dict(
+        min_shards=1, max_shards=4, scale_up_pressure=0.5,
+        scale_up_sustain=2, scale_down_idle=0.05, scale_down_sustain=3,
+        cooldown_s=1.0, crash_loop_threshold=3, crash_window_s=10.0,
+        quarantine_base_s=2.0, quarantine_max_s=8.0,
+        borrow_budget=1, borrow_pressure=0.8, lender_idle=0.1,
+    )
+    defaults.update(overrides)
+    engine = FakeElasticEngine() if engine is None else engine
+    scaler = Autoscaler(engine, AutoscalePolicy(**defaults), clock=clock)
+    return scaler, engine, clock
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="min_shards"):
+            AutoscalePolicy(min_shards=3, max_shards=2)
+        with pytest.raises(ValueError, match="scale_down_idle"):
+            AutoscalePolicy(scale_down_idle=0.6, scale_up_pressure=0.5)
+        with pytest.raises(ValueError, match="lender_idle"):
+            AutoscalePolicy(lender_idle=0.9, borrow_pressure=0.8)
+        with pytest.raises(ValueError, match="quarantine_base_s"):
+            AutoscalePolicy(quarantine_base_s=9.0, quarantine_max_s=3.0)
+
+
+class TestScaleUp:
+    def test_sustained_pressure_scales_up(self):
+        scaler, engine, clock = make_scaler()
+        engine.lanes[SPEC].queue_depth = 40  # 40/64 > 0.5
+        assert scaler.tick() == []  # one pressured tick is not enough
+        clock.advance(0.1)
+        events = scaler.tick()
+        assert [e["action"] for e in events] == ["scale_up"]
+        assert engine.lanes[SPEC].shards == 2
+
+    def test_single_noisy_sample_does_not_scale(self):
+        scaler, engine, clock = make_scaler()
+        engine.lanes[SPEC].queue_depth = 40
+        scaler.tick()
+        engine.lanes[SPEC].queue_depth = 10  # pressure gone; counter resets
+        clock.advance(0.1)
+        scaler.tick()
+        engine.lanes[SPEC].queue_depth = 40
+        clock.advance(0.1)
+        assert scaler.tick() == []  # sustain must restart from zero
+        assert engine.lanes[SPEC].shards == 1
+
+    def test_respects_max_shards(self):
+        scaler, engine, clock = make_scaler(max_shards=2, cooldown_s=0.0)
+        engine.lanes[SPEC].queue_depth = 60
+        for _ in range(8):
+            scaler.tick()
+            clock.advance(0.5)
+        assert engine.lanes[SPEC].shards == 2
+
+    def test_ladder_level_alone_needs_backing_queue(self):
+        # A stale admission ladder (level high, queue empty) must not
+        # count as pressure — the level only updates on decisions.
+        class StuckAdmission:
+            def current_level(self):
+                return 3
+
+        clock = FakeClock()
+        engine = FakeElasticEngine()
+        scaler = Autoscaler(
+            engine, AutoscalePolicy(scale_up_sustain=2, cooldown_s=0.0),
+            clock=clock, admission=StuckAdmission(),
+        )
+        for _ in range(4):
+            scaler.tick()
+            clock.advance(0.5)
+        assert engine.lanes[SPEC].shards == 1
+        # With even a modest backlog the ladder level does count.
+        engine.lanes[SPEC].queue_depth = 8  # 12.5% < scale_up_pressure
+        for _ in range(3):
+            scaler.tick()
+            clock.advance(0.5)
+        assert engine.lanes[SPEC].shards == 2
+
+
+class TestCooldownAndScaleDown:
+    def test_no_flapping_inside_cooldown(self):
+        scaler, engine, clock = make_scaler(cooldown_s=5.0)
+        engine.lanes[SPEC].queue_depth = 60
+        scaler.tick()
+        clock.advance(0.1)
+        scaler.tick()  # scale up fires here
+        assert engine.lanes[SPEC].shards == 2
+        for _ in range(10):  # still pressured, but inside cooldown
+            clock.advance(0.2)
+            assert scaler.tick() == []
+        assert engine.lanes[SPEC].shards == 2
+        clock.advance(5.0)  # cooldown over; pressure still sustained
+        scaler.tick()
+        assert engine.lanes[SPEC].shards == 3
+
+    def test_sustained_idle_scales_down_to_floor(self):
+        scaler, engine, clock = make_scaler(cooldown_s=0.0)
+        engine.lanes[SPEC].shards = 3
+        down = 0
+        for _ in range(12):
+            down += sum(
+                1 for e in scaler.tick() if e["action"] == "scale_down"
+            )
+            clock.advance(0.5)
+        assert engine.lanes[SPEC].shards == 1  # never below min_shards
+        assert down == 2
+
+    def test_aborted_drain_is_retried(self):
+        scaler, engine, clock = make_scaler(cooldown_s=0.0, scale_down_sustain=2)
+        lane = engine.lanes[SPEC]
+        lane.shards = 2
+        lane.retire_drains = False
+        for _ in range(3):
+            scaler.tick()
+            clock.advance(0.5)
+        aborted = [e for e in scaler.events if e["action"] == "scale_down_aborted"]
+        assert aborted and all(e["drained"] is False for e in aborted)
+        assert lane.shards == 2
+        lane.retire_drains = True  # in-flight work finished; drain succeeds
+        scaler.tick()
+        downs = [e for e in scaler.events if e["action"] == "scale_down"]
+        assert len(downs) == 1 and downs[0]["drained"] is True
+        assert lane.shards == 1
+
+    def test_in_flight_work_blocks_idle_counting(self):
+        scaler, engine, clock = make_scaler(cooldown_s=0.0, scale_down_sustain=2)
+        lane = engine.lanes[SPEC]
+        lane.shards = 2
+        lane.in_flight = 1  # queue empty but work outstanding
+        for _ in range(5):
+            scaler.tick()
+            clock.advance(0.5)
+        assert lane.shards == 2
+
+
+class TestCrashLoopQuarantine:
+    def test_crash_burst_quarantines_with_backoff(self):
+        scaler, engine, clock = make_scaler()
+        lane = engine.lanes[SPEC]
+        clock.advance(20.0)
+        lane.crash_times = [19.0, 19.5, 19.9]  # 3 crashes inside the window
+        events = scaler.tick()
+        assert [e["action"] for e in events] == ["quarantine"]
+        assert events[0]["backoff_s"] == 2.0  # rung 0 = base
+        assert lane.quarantined
+
+    def test_old_crashes_outside_window_do_not_trip(self):
+        scaler, engine, clock = make_scaler()
+        lane = engine.lanes[SPEC]
+        clock.advance(100.0)
+        lane.crash_times = [1.0, 2.0, 3.0]
+        assert scaler.tick() == []
+        assert not lane.quarantined
+
+    def test_backoff_doubles_per_rung_and_probe_recovers(self):
+        scaler, engine, clock = make_scaler()
+        lane = engine.lanes[SPEC]
+        clock.advance(20.0)
+        lane.crash_times = [19.0, 19.5, 19.9]
+        scaler.tick()  # quarantine at rung 0, backoff 2s
+        clock.advance(1.0)
+        assert scaler.tick() == []  # still inside backoff
+        assert lane.quarantined
+        clock.advance(1.5)  # past quarantined_until
+        events = scaler.tick()
+        assert [e["action"] for e in events] == ["quarantine_clear"]
+        assert not lane.quarantined
+        # The probe crash-loops again: re-quarantine at the next rung.
+        lane.crash_times += [clock.t + 0.1, clock.t + 0.2, clock.t + 0.3]
+        clock.advance(0.5)
+        events = scaler.tick()
+        assert [e["action"] for e in events] == ["quarantine"]
+        assert events[0]["backoff_s"] == 4.0  # rung 1 = base * 2
+        # A healthy probe resets nothing but stops the spiral: clear and
+        # stay clear while no fresh crashes arrive.
+        clock.advance(4.5)
+        assert [e["action"] for e in scaler.tick()] == ["quarantine_clear"]
+        clock.advance(5.0)
+        assert scaler.tick() == []
+        assert not lane.quarantined
+
+    def test_settled_crashes_do_not_retrip_after_clear(self):
+        # The crash history that caused the quarantine must not re-trip
+        # the breaker right after the probe clears it.
+        scaler, engine, clock = make_scaler(crash_window_s=100.0)
+        lane = engine.lanes[SPEC]
+        clock.advance(20.0)
+        lane.crash_times = [19.0, 19.5, 19.9]
+        scaler.tick()
+        clock.advance(2.5)
+        assert [e["action"] for e in scaler.tick()] == ["quarantine_clear"]
+        clock.advance(0.1)
+        assert scaler.tick() == []  # old crashes are settled history
+        assert not lane.quarantined
+
+    def test_no_scaling_while_quarantined(self):
+        scaler, engine, clock = make_scaler(cooldown_s=0.0)
+        lane = engine.lanes[SPEC]
+        clock.advance(20.0)
+        lane.crash_times = [19.0, 19.5, 19.9]
+        scaler.tick()
+        lane.queue_depth = 60  # heavy pressure, but the lane is sick
+        scaler.tick()
+        assert lane.shards == 1
+        assert ("add", SPEC) not in engine.calls
+
+
+class TestBorrowing:
+    SPECS = ("vit_s/quq/6", "vit_s/quq/4")
+
+    def test_idle_lane_lends_to_hot_lane(self):
+        engine = FakeElasticEngine(specs=self.SPECS, shards=2)
+        scaler, engine, clock = make_scaler(engine=engine)
+        hot, idle = self.SPECS
+        engine.lanes[hot].queue_depth = 60  # > borrow_pressure
+        events = scaler.tick()
+        borrows = [e for e in events if e["action"] == "borrow"]
+        assert len(borrows) == 1
+        assert borrows[0]["spec"] == hot and borrows[0]["lender"] == idle
+        assert engine.lanes[hot].shards == 3
+        assert engine.lanes[idle].shards == 1
+
+    def test_borrow_budget_bounds_loans(self):
+        engine = FakeElasticEngine(specs=self.SPECS, shards=3)
+        scaler, engine, clock = make_scaler(engine=engine, borrow_budget=1)
+        hot, idle = self.SPECS
+        engine.lanes[hot].queue_depth = 60
+        for _ in range(4):
+            scaler.tick()
+            clock.advance(0.2)
+        borrows = [e for e in scaler.events if e["action"] == "borrow"]
+        assert len(borrows) == 1  # lent exactly one despite sustained heat
+        assert len(scaler.snapshot()["active_loans"]) == 1
+
+    def test_loan_returns_on_pressure_reversal(self):
+        engine = FakeElasticEngine(specs=self.SPECS, shards=2)
+        scaler, engine, clock = make_scaler(engine=engine)
+        hot, idle = self.SPECS
+        engine.lanes[hot].queue_depth = 60
+        scaler.tick()
+        assert engine.lanes[hot].shards == 3
+        engine.lanes[hot].queue_depth = 0  # crowd over
+        clock.advance(1.0)
+        events = scaler.tick()
+        returns = [e for e in events if e["action"] == "borrow_return"]
+        assert len(returns) == 1 and returns[0]["lender"] == idle
+        assert engine.lanes[hot].shards == 2
+        assert engine.lanes[idle].shards == 2
+        assert scaler.snapshot()["active_loans"] == []
+
+    def test_loan_held_through_momentary_dip(self):
+        # A borrower whose queue briefly dips must keep the loan for at
+        # least one cooldown — otherwise the pair flaps borrow/return on
+        # every queue oscillation inside the flash crowd.
+        engine = FakeElasticEngine(specs=self.SPECS, shards=2)
+        scaler, engine, clock = make_scaler(engine=engine, cooldown_s=1.0)
+        hot, idle = self.SPECS
+        engine.lanes[hot].queue_depth = 60
+        scaler.tick()
+        assert engine.lanes[hot].shards == 3
+        engine.lanes[hot].queue_depth = 0  # momentary dip
+        clock.advance(0.2)  # inside the cooldown
+        assert all(e["action"] != "borrow_return" for e in scaler.tick())
+        assert engine.lanes[hot].shards == 3
+        clock.advance(1.0)  # past it, still cool: now it returns
+        returns = [e for e in scaler.tick() if e["action"] == "borrow_return"]
+        assert len(returns) == 1
+
+    def test_busy_lender_is_not_raided(self):
+        engine = FakeElasticEngine(specs=self.SPECS, shards=2)
+        scaler, engine, clock = make_scaler(engine=engine)
+        hot, other = self.SPECS
+        engine.lanes[hot].queue_depth = 60
+        engine.lanes[other].in_flight = 2  # busy: ineligible lender
+        assert all(e["action"] != "borrow" for e in scaler.tick())
+        assert engine.lanes[other].shards == 2
+
+    def test_quarantined_lane_neither_borrows_nor_lends(self):
+        engine = FakeElasticEngine(specs=self.SPECS, shards=2)
+        scaler, engine, clock = make_scaler(engine=engine)
+        hot, idle = self.SPECS
+        engine.lanes[hot].queue_depth = 60
+        engine.lanes[idle].quarantined = True
+        assert all(e["action"] != "borrow" for e in scaler.tick())
+
+    def test_borrowed_shard_not_retired_as_surplus(self):
+        # min_shards accounting must include the loan: the borrower keeps
+        # its borrowed shard through an idle spell (the loan unwinds via
+        # borrow_return instead, respawning the lender's shard).
+        engine = FakeElasticEngine(specs=self.SPECS, shards=2)
+        scaler, engine, clock = make_scaler(
+            engine=engine, min_shards=2, max_shards=4, cooldown_s=0.0,
+        )
+        hot, idle = self.SPECS
+        engine.lanes[idle].shards = 3  # spare capacity above the floor
+        engine.lanes[hot].queue_depth = 60
+        scaler.tick()
+        assert engine.lanes[hot].shards == 3
+        engine.lanes[hot].queue_depth = 0
+        # The first idle tick returns the loan; afterwards both lanes sit
+        # at the floor and nothing is retired below it.
+        for _ in range(6):
+            scaler.tick()
+            clock.advance(0.5)
+        assert engine.lanes[hot].shards == 2
+        assert engine.lanes[idle].shards == 2
+
+
+class TestSnapshot:
+    def test_snapshot_summarizes_ledger(self):
+        scaler, engine, clock = make_scaler()
+        engine.lanes[SPEC].queue_depth = 60
+        scaler.tick()
+        clock.advance(0.1)
+        scaler.tick()
+        snap = scaler.snapshot()
+        assert snap["event_counts"] == {"scale_up": 1}
+        assert snap["lanes"][SPEC]["borrowed"] == 0
+        assert snap["events"][0]["action"] == "scale_up"

@@ -237,7 +237,7 @@ class TestScaleBenchmarkSmoke:
             report = run_scale_benchmark(engine, config)
         finally:
             engine.stop()
-        assert report["schema_version"] == 1
+        assert report["schema_version"] == 2
         assert report["passed"], {
             key: report[key]
             for key in ("availability", "no_silent_drop", "fairness_ok",
@@ -254,3 +254,142 @@ class TestScaleBenchmarkSmoke:
         assert "Scale benchmark" in rendered
         assert "Shard-loss recovery" in rendered
         assert "Gates" in rendered
+
+
+class TestElasticCluster:
+    """The add/retire/quarantine surface the autoscaler drives."""
+
+    def test_add_shard_grows_the_pool_and_serves(self):
+        with make_engine(shards=1) as engine:
+            engine.warm(SPEC)
+            assert engine.shard_count(SPEC) == 1
+            assert engine.add_shard(SPEC) is True
+            assert engine.shard_count(SPEC) == 2
+            handles = [engine.submit(SPEC, IMAGE) for _ in range(12)]
+            results = [h.result(timeout=30.0) for h in handles]
+            snap = engine.snapshot()
+        assert all(r.label == 1 for r in results)
+        shards = snap["lanes"][FULL_SPEC]["shards"]
+        assert len(shards) == 2 and all(s["alive"] for s in shards)
+        assert snap["counters"]["scale_ups_total"] == 1
+        assert snap["gauges"][f'shards_live{{spec="{FULL_SPEC}"}}'] == 2
+
+    def test_retire_drains_in_flight_work_without_loss(self):
+        with make_engine(shards=2) as engine:
+            engine.warm(SPEC)
+            # Work in flight while the retire fences and drains.
+            handles = [engine.submit(SPEC, IMAGE) for _ in range(24)]
+            assert engine.retire_shard(SPEC) is True
+            results = [h.result(timeout=30.0) for h in handles]
+            more = [engine.submit(SPEC, IMAGE) for _ in range(8)]
+            results += [h.result(timeout=30.0) for h in more]
+            snap = engine.snapshot()
+        # Zero losses across the drain: every request completed.
+        assert len(results) == 32
+        assert all(r.label == 1 for r in results)
+        assert snap["counters"]["responses_total"] == 32
+        assert snap["counters"]["scale_downs_total"] == 1
+        assert len(snap["lanes"][FULL_SPEC]["shards"]) == 1
+
+    def test_retire_never_removes_the_last_shard(self):
+        with make_engine(shards=1) as engine:
+            engine.warm(SPEC)
+            assert engine.retire_shard(SPEC) is False
+            assert engine.shard_count(SPEC) == 1
+
+    def test_lane_stats_expose_controller_signals(self):
+        with make_engine(shards=2) as engine:
+            engine.warm(SPEC)
+            stats = engine.lane_stats(SPEC)
+        assert stats["shards"] == 2 and stats["shards_alive"] == 2
+        assert stats["queue_capacity"] == 64
+        assert stats["quarantined"] is False
+        assert stats["crash_times"] == []
+        assert engine.lane_stats("vit_s/quq/8") is None
+        assert engine.lane_specs() == [FULL_SPEC]
+
+    def test_quarantine_serves_float_in_parent_and_recovers(self):
+        with make_engine(shards=1) as engine:
+            engine.warm(SPEC)
+            assert engine.quarantine_lane(SPEC) is True
+            # Kill the only shard: the quarantined lane must not respawn
+            # it, and must keep answering via the in-parent float path.
+            engine.kill_shard(SPEC, 0)
+            handles = [engine.submit(SPEC, IMAGE) for _ in range(6)]
+            results = [h.result(timeout=30.0) for h in handles]
+            assert all(r.label == 1 for r in results)
+            assert all(not r.quantized for r in results)
+            mid = engine.snapshot()
+            assert mid["counters"]["quarantine_batches_total"] >= 1
+            assert mid["gauges"][f'lane_quarantined{{spec="{FULL_SPEC}"}}'] == 1
+            # Probe: clear the quarantine, let the watchdog respawn, and
+            # the lane returns to quantized shard serving.
+            assert engine.clear_quarantine(SPEC) is True
+            engine.check_watchdog()
+            back = [engine.submit(SPEC, IMAGE) for _ in range(4)]
+            results = [h.result(timeout=30.0) for h in back]
+            snap = engine.snapshot()
+        assert all(r.quantized for r in results)
+        assert snap["gauges"][f'lane_quarantined{{spec="{FULL_SPEC}"}}'] == 0
+        assert snap["counters"]["quarantines_total"] == 1
+
+    def test_crash_history_is_recorded_for_the_breaker(self):
+        with make_engine(shards=2) as engine:
+            engine.warm(SPEC)
+            engine.kill_shard(SPEC, 0)
+            handles = [engine.submit(SPEC, IMAGE) for _ in range(8)]
+            for handle in handles:
+                handle.result(timeout=30.0)
+            stats = engine.lane_stats(SPEC)
+        assert len(stats["crash_times"]) >= 1
+
+
+class TestClusterDeadlines:
+    def test_late_completion_is_withheld_with_typed_error(self):
+        from repro.serve import DeadlineExceededError
+
+        with make_engine(shards=1) as engine:
+            engine.warm(SPEC)
+            # A deadline far tighter than a shard round trip can meet.
+            handle = engine.submit(SPEC, IMAGE, deadline_ms=0.001)
+            with pytest.raises(DeadlineExceededError) as info:
+                handle.result(timeout=30.0)
+            snap = engine.snapshot()
+        assert getattr(info.value, "reason", None) == "deadline"
+        counters = snap["counters"]
+        assert counters["deadline_misses_total"] >= 1
+        assert counters['rejections_total{reason="deadline"}'] >= 1
+
+
+class TestClusterBorrowReturn:
+    def test_shard_moves_between_lanes_and_back(self):
+        """Cluster-level loan: the exact retire+add sequence the
+        autoscaler's borrow pass performs, against real processes —
+        capacity moves to the hot lane and returns, serving throughout."""
+        hot, idle = SPEC, "vit_s/quq/4"
+        hot_key = FULL_SPEC
+        idle_key = ModelKey.parse(idle).spec
+        with make_engine(shards=2) as engine:
+            engine.warm(hot)
+            engine.warm(idle)
+            # Borrow: drain a shard out of the idle lane, respawn on hot.
+            assert engine.retire_shard(idle) is True
+            assert engine.add_shard(hot) is True
+            assert engine.shard_count(hot) == 3
+            assert engine.shard_count(idle) == 1
+            handles = [engine.submit(hot, IMAGE) for _ in range(12)]
+            handles += [engine.submit(idle, IMAGE) for _ in range(4)]
+            results = [h.result(timeout=30.0) for h in handles]
+            # Return: unwind the loan.
+            assert engine.retire_shard(hot) is True
+            assert engine.add_shard(idle) is True
+            assert engine.shard_count(hot) == 2
+            assert engine.shard_count(idle) == 2
+            handles = [engine.submit(s, IMAGE) for s in (hot, idle)]
+            results += [h.result(timeout=30.0) for h in handles]
+            snap = engine.snapshot()
+        assert len(results) == 18
+        assert all(r.label == 1 for r in results)
+        assert snap["counters"]["responses_total"] == 18
+        assert snap["gauges"][f'shards_live{{spec="{hot_key}"}}'] == 2
+        assert snap["gauges"][f'shards_live{{spec="{idle_key}"}}'] == 2

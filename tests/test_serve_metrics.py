@@ -204,6 +204,7 @@ class TestRejectionReasonLabelParity:
         ("vit_mini_s/quq/4/full", "rate_limited"),
         ("vit_mini_s/quq/6/full", "breaker_open"),
         ("vit_mini_s/quq/4/full", "shed"),
+        ("vit_mini_s/quq/6/full", "deadline"),
     )
 
     def _assert_parity(self, counters):

@@ -169,3 +169,84 @@ class TestNextEventAndShutdown:
         scheduler.submit(IMAGE)
         batch = scheduler.wait_for_batch(timeout=10.0, idle=True)
         assert batch is not None and len(batch) == 1
+
+
+class TestPriorityAndDeadlines:
+    def test_submit_validates_priority_and_deadline(self):
+        scheduler, clock = make_scheduler()
+        with pytest.raises(ValueError, match="priority"):
+            scheduler.submit(IMAGE, priority="urgent")
+        with pytest.raises(ValueError, match="deadline_ms"):
+            scheduler.submit(IMAGE, deadline_ms=0.0)
+
+    def test_higher_band_dispatches_first(self):
+        scheduler, clock = make_scheduler(max_batch_size=2)
+        best = scheduler.submit(IMAGE, priority="best_effort")
+        batch = scheduler.submit(IMAGE, priority="batch")
+        interactive = scheduler.submit(IMAGE, priority="interactive")
+        picked = scheduler.poll(idle=True)
+        assert picked.requests == [interactive, batch]
+        assert scheduler.poll(idle=True).requests == [best]
+
+    def test_edf_within_a_band(self):
+        scheduler, clock = make_scheduler(max_batch_size=3)
+        loose = scheduler.submit(IMAGE, priority="interactive",
+                                 deadline_ms=900.0)
+        tight = scheduler.submit(IMAGE, priority="interactive",
+                                 deadline_ms=100.0)
+        none = scheduler.submit(IMAGE, priority="interactive")
+        picked = scheduler.poll(idle=True)
+        # Earliest deadline first; deadline-free requests sort last.
+        assert picked.requests == [tight, loose, none]
+
+    def test_fifo_preserved_for_equal_keys(self):
+        scheduler, clock = make_scheduler(max_batch_size=4)
+        first = scheduler.submit(IMAGE)
+        second = scheduler.submit(IMAGE)
+        assert scheduler.poll(idle=True).requests == [first, second]
+
+    def test_deadline_expiry_is_typed_not_timeout(self):
+        from repro.serve import DeadlineExceededError
+
+        scheduler, clock = make_scheduler(timeout_ms=100.0)
+        doomed = scheduler.submit(IMAGE, deadline_ms=10.0)
+        ok = scheduler.submit(IMAGE)
+        clock.now = 0.05  # past the 10ms deadline, before the 100ms timeout
+        batch = scheduler.poll(idle=True)
+        assert batch.requests == [ok]
+        assert doomed.done()
+        with pytest.raises(DeadlineExceededError) as info:
+            doomed.result()
+        assert info.value.reason == "deadline"
+        assert doomed.expire_reason == "deadline"
+        # The queue-timeout path stays RequestTimeoutError.
+        stale = scheduler.submit(IMAGE)
+        clock.now = 0.05 + 0.2
+        scheduler.poll(idle=True)
+        with pytest.raises(RequestTimeoutError):
+            stale.result()
+        assert stale.expire_reason == "timeout"
+
+    def test_expiry_callback_carries_the_reason(self):
+        from repro.serve.scheduler import BatchPolicy, MicroBatchScheduler
+
+        expired = []
+        clock = FakeClock()
+        scheduler = MicroBatchScheduler(
+            BatchPolicy(max_batch_size=4, timeout_ms=1000.0),
+            clock=clock, on_expire=expired.append,
+        )
+        scheduler.submit(IMAGE, deadline_ms=5.0)
+        clock.now = 0.5
+        scheduler.poll(idle=True)
+        assert [r.expire_reason for r in expired] == ["deadline"]
+
+    def test_deadline_never_outlives_queue_timeout(self):
+        # A deadline looser than timeout_ms still expires as a timeout.
+        scheduler, clock = make_scheduler(timeout_ms=50.0)
+        request = scheduler.submit(IMAGE, deadline_ms=5000.0)
+        clock.now = 0.2
+        scheduler.poll(idle=True)
+        with pytest.raises(RequestTimeoutError):
+            request.result()
+        assert request.expire_reason == "timeout"

@@ -99,3 +99,98 @@ class TestGenerateTrace:
         stats = trace_stats(events, config)
         assert sum(stats["per_tenant"].values()) == len(events)
         assert set(stats["per_tenant"]) == set(tenant_mix(config))
+
+
+class TestPriorityBands:
+    def test_bands_follow_the_configured_mix(self):
+        config = TraceConfig(duration_s=20.0, base_rate=100.0, seed=3)
+        events = generate_trace(config)
+        counts = {}
+        for event in events:
+            counts[event.priority] = counts.get(event.priority, 0) + 1
+        total = len(events)
+        for band, want in config.priority_mix.items():
+            assert counts[band] / total == pytest.approx(want, abs=0.05)
+
+    def test_band_deadlines_attach_per_band(self):
+        events = generate_trace(TraceConfig(duration_s=5.0, seed=1))
+        for event in events:
+            if event.priority == "interactive":
+                assert event.deadline_ms == 1500.0
+            else:
+                assert event.deadline_ms is None
+
+    def test_band_sampling_does_not_move_arrivals(self):
+        # The band stream is separate from the arrival stream: changing
+        # the mix must leave the arrival times and tenants untouched.
+        base = TraceConfig(duration_s=4.0, seed=9)
+        skewed = TraceConfig(
+            duration_s=4.0, seed=9,
+            priority_mix={"interactive": 0.9, "batch": 0.1},
+        )
+        a = generate_trace(base)
+        b = generate_trace(skewed)
+        assert [(e.at_s, e.tenant) for e in a] == [(e.at_s, e.tenant) for e in b]
+
+    def test_rejects_unknown_band_and_bad_mix(self):
+        with pytest.raises(ValueError, match="priority band"):
+            TraceConfig(priority_mix={"realtime": 1.0})
+        with pytest.raises(ValueError, match="sum"):
+            TraceConfig(priority_mix={"batch": 0.0})
+        with pytest.raises(ValueError, match="band_deadline_ms"):
+            TraceConfig(band_deadline_ms={"batch": -1.0})
+
+
+class TestTraceRoundTrip:
+    def test_save_load_is_identity(self, tmp_path):
+        from repro.serve import load_trace, save_trace
+
+        events = generate_trace(TraceConfig(duration_s=3.0, seed=5))
+        path = tmp_path / "trace.jsonl"
+        save_trace(events, path)
+        assert load_trace(path) == events
+
+    def test_checked_in_sample_trace_loads(self):
+        from pathlib import Path
+
+        from repro.serve import load_trace
+
+        path = Path(__file__).parent / "data" / "sample_trace.jsonl"
+        events = load_trace(path)
+        assert len(events) > 0
+        assert all(e.at_s >= 0 for e in events)
+        bands = {e.priority for e in events}
+        assert bands <= {"interactive", "batch", "best_effort"}
+        assert any(e.deadline_ms is not None for e in events)
+
+    def test_load_validates_rows(self, tmp_path):
+        from repro.serve import load_trace
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"at_s": 1.0}\n')
+        with pytest.raises(ValueError, match="tenant"):
+            load_trace(bad)
+        bad.write_text('{"at_s": 1.0, "tenant": "t", "priority": "nope"}\n')
+        with pytest.raises(ValueError, match="priority"):
+            load_trace(bad)
+        bad.write_text('{"at_s": 1.0, "tenant": "t", "deadline_ms": -5}\n')
+        with pytest.raises(ValueError, match="deadline_ms"):
+            load_trace(bad)
+        bad.write_text("not json\n")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_trace(bad)
+
+    def test_load_sorts_by_time_and_keeps_spec(self, tmp_path):
+        from repro.serve import load_trace
+
+        path = tmp_path / "recorded.jsonl"
+        path.write_text(
+            '{"at_s": 2.0, "tenant": "b", "spec": "vit_s/quq/4"}\n'
+            "\n"
+            '{"at_s": 0.5, "tenant": "a", "priority": "interactive", '
+            '"deadline_ms": 250}\n'
+        )
+        events = load_trace(path)
+        assert [e.tenant for e in events] == ["a", "b"]
+        assert events[0].deadline_ms == 250.0
+        assert events[1].spec == "vit_s/quq/4"
