@@ -14,8 +14,10 @@ Differences from the reference executor are purely mechanical:
   re-encoded from float on every call — the memory story;
 * activation taps reuse precomputed :class:`~repro.backend.kernels.FusedEncoder`
   tables instead of re-deriving registers per tensor — the latency story;
-* the integer SFU variants call the vectorized kernels of
-  :mod:`repro.backend.sfu` (exact-equal to :mod:`repro.hw.int_sfu`).
+* the integer SFU variants dispatch through the kernel registry to the
+  vectorized kernels of :mod:`repro.backend.sfu` (exact-equal to the
+  :mod:`repro.hw.int_sfu` references, which ``REPRO_KERNELS=reference``
+  restores).
 
 The float special functions (LayerNorm / Softmax / GELU over decoded
 values) replicate the executor's expressions operation for operation, so
@@ -29,12 +31,12 @@ import numpy as np
 from scipy.special import erf
 
 from ..autograd import Tensor, no_grad
+from ..kernels import fused_encoder, get_kernel
 from ..quant.qmodel import PTQPipeline
 from ..quant.quq import QUQQuantizer
 from .base import ServingBackend
 from .kernels import FusedEncoder
 from .packed import PackedWeightStore
-from .sfu import v_i_gelu, v_i_layernorm, v_i_softmax
 
 __all__ = ["IntNativeBackend"]
 
@@ -74,7 +76,10 @@ class IntNativeBackend(ServingBackend):
             quantizer = self.pipeline.quantizer_for(f"{self._prefix}.{tap}")
             if not isinstance(quantizer, QUQQuantizer):
                 raise TypeError(f"tap {tap} is not QUQ-quantized")
-            encoder = FusedEncoder(quantizer.params, self.bits)
+            # Shared process-wide memo (registry op ``qub.encode``'s fast
+            # variant): replicas serving the same calibration reuse one
+            # encoder's tables instead of rebuilding them per backend.
+            encoder = fused_encoder(quantizer.params, self.bits)
             self._encoders[tap] = encoder
         return encoder
 
@@ -96,7 +101,7 @@ class IntNativeBackend(ServingBackend):
         encoder = self._encoder(tap_in)
         weight_tap = f"{self._prefix}.{tap_in.rsplit('.', 1)[0]}.weight"
         weight = self.weights[weight_tap]
-        acc = encoder.shifted(flat) @ weight.shifted()
+        acc = get_kernel("gemm.int")(encoder.shifted(flat), weight.shifted())
         self._gemm_calls += 1
         out = acc.astype(np.float64) * (encoder.base_delta * weight.base_delta)
         if layer.bias is not None:
@@ -104,11 +109,16 @@ class IntNativeBackend(ServingBackend):
         return out.reshape(*shape[:-1], -1)
 
     # ------------------------------------------------------------------
+    # Integer SFU paths dispatch through the kernel registry (vectorized
+    # kernels by default, scalar references under REPRO_KERNELS=reference;
+    # exact-integer-equal either way).
     def _layernorm(self, values: np.ndarray, weight, bias) -> np.ndarray:
         if self.integer_sfu:
             scale = 2.0**-14
             q = np.rint(values / scale).astype(np.int64)
-            q_out, s_out = v_i_layernorm(q, scale, weight=weight, bias=bias, out_bits=12)
+            q_out, s_out = get_kernel("sfu.layernorm")(
+                q, scale, weight=weight, bias=bias, out_bits=12
+            )
             return q_out * s_out
         mean = values.mean(axis=-1, keepdims=True)
         var = values.var(axis=-1, keepdims=True)
@@ -118,7 +128,7 @@ class IntNativeBackend(ServingBackend):
         if self.integer_sfu:
             scale = 2.0**-10
             q = np.rint(values / scale).astype(np.int64)
-            q_out, s_out = v_i_softmax(q, scale, out_bits=16)
+            q_out, s_out = get_kernel("sfu.softmax")(q, scale, out_bits=16)
             return q_out * s_out
         shifted = values - values.max(axis=-1, keepdims=True)
         e = np.exp(shifted)
@@ -128,7 +138,7 @@ class IntNativeBackend(ServingBackend):
         if self.integer_sfu:
             scale = 2.0**-10
             q = np.rint(values / scale).astype(np.int64)
-            q_out, s_out = v_i_gelu(q, scale)
+            q_out, s_out = get_kernel("sfu.gelu")(q, scale)
             return q_out * s_out
         return values * 0.5 * (1.0 + erf(values / np.sqrt(2.0)))
 
@@ -150,7 +160,9 @@ class IntNativeBackend(ServingBackend):
         self._record(recorder, f"{tap}.attn.k", k)
         enc_q = self._encoder(f"{tap}.attn.q")
         enc_k = self._encoder(f"{tap}.attn.k")
-        acc = enc_q.shifted(q) @ np.swapaxes(enc_k.shifted(k), -1, -2)
+        acc = get_kernel("gemm.int")(
+            enc_q.shifted(q), np.swapaxes(enc_k.shifted(k), -1, -2)
+        )
         self._gemm_calls += 1
         scores = acc * (enc_q.base_delta * enc_k.base_delta) * attn.scale
         scores = self._store_load(scores, f"{tap}.attn.scores", recorder)
@@ -160,7 +172,7 @@ class IntNativeBackend(ServingBackend):
         self._record(recorder, f"{tap}.attn.v", v)
         enc_p = self._encoder(f"{tap}.attn.probs")
         enc_v = self._encoder(f"{tap}.attn.v")
-        ctx_acc = enc_p.shifted(probs) @ enc_v.shifted(v)
+        ctx_acc = get_kernel("gemm.int")(enc_p.shifted(probs), enc_v.shifted(v))
         self._gemm_calls += 1
         ctx = ctx_acc * (enc_p.base_delta * enc_v.base_delta)
         ctx = ctx.transpose(0, 2, 1, 3).reshape(b, n, c)

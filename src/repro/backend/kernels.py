@@ -192,7 +192,16 @@ class FusedEncoder:
 
     @property
     def lut(self) -> np.ndarray:
-        """Decode LUT under this tap's registers (built on first use)."""
+        """Decode LUT under this tap's registers.
+
+        Dispatches through the kernel registry (op ``qub.decode_lut``):
+        the process-wide shared cache by default — every consumer of one
+        ``(registers, bits)`` pair (this encoder, the packed weight
+        store) gathers from the same write-protected table, computed
+        once — a fresh table under ``REPRO_KERNELS=reference``.
+        """
         if self._lut is None:
-            self._lut = decode_lut(self.registers, self.bits)
+            from ..kernels import get_kernel
+
+            self._lut = get_kernel("qub.decode_lut")(self.registers, self.bits)
         return self._lut

@@ -14,6 +14,7 @@ Commands
 ``corruption-sweep``  SynthShapes-C robustness grid + drift recovery curve
 ``perf-bench``     hot-path latency: calibrate/first-batch/steady per method
 ``scale-bench``    flash-crowd trace vs sharded cluster + admission control
+``kernel-parity``  reference-vs-fast parity over the kernel registry
 
 Model-dependent commands share ``--seed`` (calibration/val sampling) and
 ``--batch-size`` (inference batch size) so runs are reproducible from the
@@ -409,6 +410,34 @@ def cmd_perf_bench(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_kernel_parity(args) -> None:
+    import json
+
+    from .kernels import run_kernel_parity
+
+    seed = 0 if args.seed is None else args.seed
+    report = run_kernel_parity(seed=seed, cases=args.cases)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for op, entry in sorted(report["ops"].items()):
+            for pair in entry["pairs"]:
+                verdict = "ok" if pair["passed"] else "FAIL"
+                print(f"{op}:{pair['fast_variant']:<10} {verdict:<5} "
+                      f"{pair['cases']:>4} cases  ({pair['parity']})")
+                for mismatch in pair["mismatches"]:
+                    print(f"    {mismatch['case']}: {mismatch['problem']}")
+        verdict = "PASS" if report["passed"] else "FAIL"
+        print(f"kernel parity: {report['pairs_checked']} pairs, "
+              f"{report['failures']} failures -> {verdict}")
+    if not report["passed"]:
+        raise SystemExit(1)
+
+
 def cmd_scale_bench(args) -> None:
     import json
 
@@ -752,6 +781,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the raw report as JSON")
     _add_repro_flags(scale)
     scale.set_defaults(fn=cmd_scale_bench)
+
+    parity = commands.add_parser(
+        "kernel-parity",
+        help="pairwise reference-vs-fast parity over every registered "
+             "kernel (adversarial inputs included); exit 1 on any mismatch",
+    )
+    parity.add_argument("--cases", type=int, default=8,
+                        help="random cases per generator on top of the "
+                             "fixed adversarial set")
+    parity.add_argument("--seed", type=int, default=None,
+                        help="case-generation seed (default 0; "
+                             "deterministic given the seed)")
+    parity.add_argument("--output", default="",
+                        help="write the JSON report here ('' to skip)")
+    parity.add_argument("--json", action="store_true",
+                        help="print the raw report as JSON")
+    parity.set_defaults(fn=cmd_kernel_parity)
     return parser
 
 

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..kernels import get_kernel
 from ..quant.params import QUQParams
 from ..quant.qub import FCRegisters, decode, encode, legalize_for_hardware
 from ..quant.quq import QuantizedTensor, quantize_with_params
@@ -101,13 +102,16 @@ def encode_tensor(
     params: QUQParams | None = None,
     config: PRAConfig | None = None,
 ) -> EncodedTensor:
-    """Quantize ``x`` with (hardware-legal) QUQ parameters and encode it."""
+    """Quantize ``x`` with (hardware-legal) QUQ parameters and encode it.
+
+    Dispatches through the kernel registry (op ``qub.encode``): the
+    memoized :class:`~repro.backend.kernels.FusedEncoder` by default, the
+    quantize-then-encode reference under ``REPRO_KERNELS=reference``.
+    """
     if params is None:
         params = progressive_relaxation(x, bits, config)
-    params = legalize_for_hardware(params)
-    qt = quantize_with_params(x, params)
-    qubs, registers = encode(qt)
-    return EncodedTensor(qubs, registers, params.base_delta, bits)
+    qubs, registers, base_delta = get_kernel("qub.encode")(x, params, bits)
+    return EncodedTensor(qubs, registers, base_delta, bits)
 
 
 class QUA:
@@ -217,7 +221,9 @@ class QUA:
         dw, nw = decode(qw, rw, w.bits)
         shifted_x = dx << nx  # (Dx << nx); the split of the total shift
         shifted_w = dw << nw  # between operands is mathematically free
-        acc = shifted_x @ shifted_w
+        # The PE-array MAC goes through the registry: the BLAS-window fast
+        # GEMM by default, the int64 matmul under REPRO_KERNELS=reference.
+        acc = get_kernel("gemm.int")(shifted_x, shifted_w)
         if self.faults is None:
             return acc
         faulty = self.faults.corrupt_accumulator(acc, site)

@@ -19,13 +19,13 @@ import numpy as np
 from scipy.special import erf
 
 from ..autograd import Tensor, no_grad
+from ..kernels import get_kernel
 from ..nn.attention import TransformerBlock
 from ..quant.params import QUQParams
 from ..quant.qmodel import PTQPipeline
 from ..quant.quq import QUQQuantizer
 from .accelerator import QUA, EncodedTensor, encode_tensor
 from .faults import BitFaultInjector
-from .int_sfu import i_gelu, i_layernorm, i_softmax
 from .protect import ProtectionConfig, ProtectionStats
 
 __all__ = ["BlockExecutor", "ModelExecutor"]
@@ -96,11 +96,16 @@ class BlockExecutor:
         return self.qua.sfu_load(encoded, site=self._site(tap))
 
     # ------------------------------------------------------------------
+    # The integer SFU paths dispatch through the kernel registry: the
+    # vectorized kernels by default, the scalar-reference ones under
+    # ``REPRO_KERNELS=reference`` (both are exact-integer-equal).
     def _layernorm(self, values: np.ndarray, weight, bias) -> np.ndarray:
         if self.integer_sfu:
             scale = 2.0**-14
             q = np.rint(values / scale).astype(np.int64)
-            q_out, s_out = i_layernorm(q, scale, weight=weight, bias=bias, out_bits=12)
+            q_out, s_out = get_kernel("sfu.layernorm")(
+                q, scale, weight=weight, bias=bias, out_bits=12
+            )
             return q_out * s_out
         mean = values.mean(axis=-1, keepdims=True)
         var = values.var(axis=-1, keepdims=True)
@@ -110,7 +115,7 @@ class BlockExecutor:
         if self.integer_sfu:
             scale = 2.0**-10
             q = np.rint(values / scale).astype(np.int64)
-            q_out, s_out = i_softmax(q, scale, out_bits=16)
+            q_out, s_out = get_kernel("sfu.softmax")(q, scale, out_bits=16)
             return q_out * s_out
         shifted = values - values.max(axis=-1, keepdims=True)
         e = np.exp(shifted)
@@ -120,7 +125,7 @@ class BlockExecutor:
         if self.integer_sfu:
             scale = 2.0**-10
             q = np.rint(values / scale).astype(np.int64)
-            q_out, s_out = i_gelu(q, scale)
+            q_out, s_out = get_kernel("sfu.gelu")(q, scale)
             return q_out * s_out
         return values * 0.5 * (1.0 + erf(values / np.sqrt(2.0)))
 

@@ -154,6 +154,12 @@ class QuantEnv(TapDispatcher):
         quantizer object at the same ``param_version``, and the current
         ``cache_version`` — any mismatch recomputes, so the cached path is
         bit-exact with the uncached one by construction.
+
+        ``quantizer.fake_quantize`` dispatches through the kernel
+        registry, so both the cached fill and the uncached path honour
+        ``REPRO_KERNELS`` (e.g. ``REPRO_KERNELS=reference`` during a
+        bisection).  Because hits replay a stored array, flipping the
+        env var mid-run only takes effect after ``invalidate()``.
         """
         entry = self._weight_cache.get(name)
         if (

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels import get_kernel
 from .base import Quantizer
 from .params import Mode, QUQParams, Subrange, SubrangeSpec
 from .relax import PRAConfig, progressive_relaxation
@@ -24,6 +25,7 @@ __all__ = [
     "QUQQuantizer",
     "quantize_with_params",
     "fake_quantize_with_params",
+    "nan_park_value",
 ]
 
 #: Stable integer ids for the four subranges (used in code/id arrays).
@@ -76,15 +78,22 @@ def quantize_with_params(x: np.ndarray, params: QUQParams) -> QuantizedTensor:
     has_positive = params.f_pos is not None or params.c_pos is not None
     has_negative = params.f_neg is not None or params.c_neg is not None
 
+    # NaN fails both side comparisons on two-sided params and must do the
+    # same on one-sided ones (where the side mask would otherwise be
+    # all-true and NaN codes would reach the int64 cast): keep NaN out of
+    # every side so it parks at the deterministic spot below, mirroring
+    # the NumericGuard stance that non-finite values are never silently
+    # laundered into data-dependent codes.
+    finite_side = ~np.isnan(x)
     for negative in (False, True):
         fine, coarse, fine_id, coarse_id = _side_arrays(params, negative)
         if fine is None and coarse is None:
             continue
         if negative:
-            side = x < 0 if has_positive else np.ones(x.shape, dtype=bool)
+            side = x < 0 if has_positive else finite_side
             magnitude = -x
         else:
-            side = x >= 0 if has_negative else np.ones(x.shape, dtype=bool)
+            side = x >= 0 if has_negative else finite_side
             magnitude = x
         if not side.any():
             continue
@@ -129,8 +138,11 @@ def quantize_with_params(x: np.ndarray, params: QUQParams) -> QuantizedTensor:
                 Subrange.F_POS if params.f_pos is not None else Subrange.C_POS
             ]
 
-    # Elements on a side with no subrange (e.g. positives under a
-    # negative-only Mode B): clip to the closest representable extreme.
+    # Elements assigned to no subrange: values on a side with no subrange
+    # (e.g. positives under a negative-only Mode B) clip to the closest
+    # representable extreme, and NaN — which joins no side — parks at the
+    # same deterministic spot (code -1 in the negative space when one
+    # exists, else code 0).  :func:`nan_park_value` is the float twin.
     unassigned = ids < 0
     if unassigned.any():
         if has_positive and not has_negative:
@@ -148,6 +160,24 @@ def quantize_with_params(x: np.ndarray, params: QUQParams) -> QuantizedTensor:
     return QuantizedTensor(params, codes, ids)
 
 
+def nan_park_value(params: QUQParams) -> float:
+    """Where the reference code path parks NaN, as a dequantized float.
+
+    :func:`quantize_with_params` assigns NaN to no side, so it lands in
+    the "unassigned" bucket: code ``-1`` in the negative space when one
+    exists (value ``-delta`` of the fine-else-coarse negative subrange),
+    else code ``0`` (value ``0.0``).  The fused fake-quantize kernel and
+    the serving encoders reproduce this spot so every implementation
+    agrees on non-finite inputs; the serving engine's ``NumericGuard``
+    still rejects non-finite *batches* outright — parking only defines
+    the deterministic value below that guard.
+    """
+    spec = params.f_neg if params.f_neg is not None else params.c_neg
+    if spec is not None:
+        return -spec.delta
+    return 0.0
+
+
 def _fused_tables(params: QUQParams) -> tuple[float, float, np.ndarray, np.ndarray, np.ndarray]:
     """Per-subrange lookup tables for the fused fake-quantize kernel.
 
@@ -157,7 +187,7 @@ def _fused_tables(params: QUQParams) -> tuple[float, float, np.ndarray, np.ndarr
     single active subrange gets ``span = +/-inf`` so routing always (or
     never) picks the fine slot, and the unused slot mirrors the active one
     so NaN inputs — which fail every comparison and land in the coarse
-    slot — still propagate as NaN rather than hitting a dummy delta.  A
+    slot — gather sane table entries on their way to the NaN park.  A
     fully absent side is never selected (the side mask routes every
     element to the active side) and holds inert values.
     """
@@ -217,12 +247,19 @@ def fake_quantize_with_params(x: np.ndarray, params: QUQParams) -> np.ndarray:
         negative = np.ones(x.shape, dtype=bool)
 
     magnitude = np.abs(x)
-    fine = magnitude <= np.where(negative, span_neg, span_pos)
-    selector = negative * 2 + fine
-    delta = delta_t[selector]
-    return (
-        np.clip(np.rint(x / delta), lo_t[selector], hi_t[selector]) * delta
-    ).astype(np.float32)
+    with np.errstate(invalid="ignore"):
+        fine = magnitude <= np.where(negative, span_neg, span_pos)
+        selector = negative * 2 + fine
+        delta = delta_t[selector]
+        out = np.clip(np.rint(x / delta), lo_t[selector], hi_t[selector]) * delta
+    # Non-finite parity with the code path: +/-inf clipped to the side's
+    # representable extreme above; NaN (the only input that survives the
+    # divide/round/clamp as NaN) parks where quantize().dequantize() does
+    # instead of propagating.
+    invalid = np.isnan(out)
+    if invalid.any():
+        out = np.where(invalid, nan_park_value(params), out)
+    return out.astype(np.float32)
 
 
 class QUQQuantizer(Quantizer):
@@ -245,11 +282,16 @@ class QUQQuantizer(Quantizer):
 
     def quantize(self, x: np.ndarray) -> QuantizedTensor:
         self._require_fitted()
-        return quantize_with_params(x, self.params)
+        return get_kernel("quq.quantize")(x, self.params)
 
     def fake_quantize(self, x: np.ndarray) -> np.ndarray:
+        # Dispatch through the kernel registry: fast (the fused four-slot
+        # kernel) by default, the quantize->dequantize reference under
+        # ``REPRO_KERNELS=reference``.  Every caller — ``QuantEnv``'s
+        # quantize phase, the weight cache, the float serving backend —
+        # inherits the switch through this one seam.
         self._require_fitted()
-        return fake_quantize_with_params(x, self.params)
+        return get_kernel("quq.fake_quantize")(x, self.params)
 
     def scaled(self, factor: float) -> "QUQQuantizer":
         """Copy with every scale factor multiplied by ``factor``.

@@ -26,6 +26,8 @@ import numpy as np
 from ..autograd import Tensor, no_grad
 from ..backend import BACKEND_NAMES, make_backend
 from ..data import calibration_set, make_splits
+from ..kernels import active_kernels as _active_kernels
+from ..kernels import kernels_snapshot as _kernels_snapshot
 from ..models import MINI_CONFIGS, MINI_FOR_PAPER, get_trained_model
 from ..models.cnn import CNN_MINI
 from ..models.zoo import DATASET_SPEC, cache_dir
@@ -453,5 +455,16 @@ class ModelRegistry:
                     key.spec: servable.backend.describe()
                     for key, servable in self._entries.items()
                     if servable.backend is not None
+                },
+                # Process-wide kernel registry configuration: which
+                # variant serves each op and any REPRO_KERNELS override.
+                # Deliberately no dispatch/cache counters here — they are
+                # cumulative process-global state, and registry snapshots
+                # must be deterministic for equal serving histories (the
+                # recovery-curve harness byte-compares them).  Counters
+                # live in the perf-bench report's "kernels" section.
+                "kernels": {
+                    "selected": _active_kernels(),
+                    "override": _kernels_snapshot()["override"],
                 },
             }

@@ -40,10 +40,14 @@ class TestHotpathReport:
     def test_attestation_bit_exact(self, report):
         assert report["attestation"]["bit_exact"] is True
         assert report["attestation"]["per_method"] == {
-            "baseq": True, "quq": True,
+            "baseq": True, "quq": True, "kernel_registry": True,
         }
         for method in ("baseq", "quq"):
             assert report["methods"][method]["bit_exact"] is True
+        # The kernel attestation comes from the registry harness, not a
+        # hand-rolled check: the report must say so.
+        assert report["kernels"]["parity"]["source"] == "kernel-registry"
+        assert report["kernels"]["parity"]["failures"] == 0
 
     def test_structure_and_serializability(self, report):
         assert report["schema_version"] == 1

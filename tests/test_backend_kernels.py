@@ -129,3 +129,23 @@ class TestDecodeLut:
     def test_lut_is_cached(self, fits):
         encoder = FusedEncoder(fitted_params(fits["two_sided"], 6), 6)
         assert encoder.lut is encoder.lut
+
+    def test_lut_deduped_across_consumers(self, fits):
+        """FusedEncoder and PackedWeightStore share one table per
+        (registers, bits), built once and counted in kernel stats."""
+        from repro.backend.packed import PackedWeightStore
+        from repro.kernels import KERNELS, clear_kernel_caches
+
+        params = legalize_for_hardware(fitted_params(fits["two_sided"], 6))
+        clear_kernel_caches()
+        KERNELS.reset_counters()
+        encoder = FusedEncoder(params, 6)
+        lut = encoder.lut
+        rng = np.random.default_rng(11)
+        encoded = encode_tensor(rng.normal(size=(8, 8)), 6, params=params)
+        packed = PackedWeightStore._pack_encoded("w", encoded)
+        assert packed.lut is lut
+        assert not lut.flags.writeable
+        counters = KERNELS.counters
+        assert counters["qub.decode_lut:cache_miss"] == 1
+        assert counters["qub.decode_lut:cache_hit"] >= 1

@@ -243,11 +243,50 @@ class TestEncodeBatch:
         with pytest.raises(ValueError, match="shared parameter set"):
             encode_batch([qa.quantize(x), qb.quantize(x)])
 
-    def test_empty_rejected(self):
+    def test_empty_rejected_with_typed_error(self):
+        from repro.quant.qub import EmptyBatchError, encode_batch
+
+        with pytest.raises(EmptyBatchError, match="at least one"):
+            encode_batch([])
+        # Callers that only know ValueError still catch it.
+        assert issubclass(EmptyBatchError, ValueError)
+
+    def test_zero_size_members_accepted(self, rng):
+        """Regression: zero-size tensors in a batch must encode, not crash."""
         from repro.quant.qub import encode_batch
 
-        with pytest.raises(ValueError, match="at least one"):
+        q = QUQQuantizer(6).fit(rng.standard_t(df=3, size=2000))
+        q.params = legalize_for_hardware(q.params)
+        tensors = [
+            q.quantize(np.empty((0,))),
+            q.quantize(rng.standard_t(df=3, size=(3, 5))),
+            q.quantize(np.empty((2, 0, 4))),
+        ]
+        batched, registers = encode_batch(tensors)
+        assert registers == FCRegisters.from_params(q.params)
+        assert batched[0].shape == (0,)
+        assert batched[2].shape == (2, 0, 4)
+        assert np.array_equal(batched[1], encode(tensors[1])[0])
+
+    def test_all_zero_size_batch(self, rng):
+        from repro.quant.qub import encode_batch
+
+        q = QUQQuantizer(4).fit(rng.normal(size=1000))
+        q.params = legalize_for_hardware(q.params)
+        batched, _ = encode_batch([q.quantize(np.empty((0, 7)))])
+        assert batched[0].shape == (0, 7)
+
+    def test_reference_variant_same_errors(self, monkeypatch, rng):
+        """REPRO_KERNELS=reference preserves the typed error contract."""
+        from repro.quant.qub import EmptyBatchError, encode_batch
+
+        monkeypatch.setenv("REPRO_KERNELS", "reference")
+        with pytest.raises(EmptyBatchError):
             encode_batch([])
+        q = QUQQuantizer(6).fit(rng.normal(size=1000))
+        q.params = legalize_for_hardware(q.params)
+        batched, _ = encode_batch([q.quantize(np.empty((0,)))])
+        assert batched[0].shape == (0,)
 
 
 class TestDecodedOperandWidth:

@@ -150,6 +150,66 @@ class TestQuantizeWithParams:
         assert qt.dequantize()[0] == 0.0
 
 
+class TestNaNParity:
+    """Regression: fake_quantize and quantize(...).dequantize() must park
+    NaN at the same representable value, for every parameter shape."""
+
+    def _param_sets(self):
+        two_sided = QUQParams(
+            4,
+            f_neg=SubrangeSpec(0.1, 4),
+            f_pos=SubrangeSpec(0.1, 4),
+            c_neg=SubrangeSpec(0.8, 4),
+            c_pos=SubrangeSpec(0.8, 4),
+        )
+        negative_only = QUQParams(
+            4, SubrangeSpec(0.1, 8), None, SubrangeSpec(0.8, 8), None
+        )
+        positive_only = QUQParams(
+            4, None, SubrangeSpec(0.1, 8), None, SubrangeSpec(0.8, 8)
+        )
+        return {
+            "two_sided": two_sided,
+            "negative_only": negative_only,
+            "positive_only": positive_only,
+        }
+
+    @pytest.mark.parametrize(
+        "kind", ["two_sided", "negative_only", "positive_only"]
+    )
+    def test_fake_quantize_matches_roundtrip(self, kind):
+        from repro.quant.quq import fake_quantize_with_params
+
+        params = self._param_sets()[kind]
+        x = np.array([np.nan, 0.3, np.nan, -0.3, np.inf, -np.inf, 0.0])
+        fused = fake_quantize_with_params(x, params)
+        roundtrip = quantize_with_params(x, params).dequantize()
+        np.testing.assert_array_equal(fused, roundtrip)
+        # NaN is parked at a finite representable value, never propagated.
+        assert np.isfinite(fused).all()
+
+    @pytest.mark.parametrize(
+        "kind", ["two_sided", "negative_only", "positive_only"]
+    )
+    def test_nan_park_value_matches_codes(self, kind):
+        from repro.quant.quq import nan_park_value
+
+        params = self._param_sets()[kind]
+        x = np.array([np.nan])
+        parked = quantize_with_params(x, params).dequantize()[0]
+        assert parked == nan_park_value(params)
+
+    def test_one_sided_nan_codes_stay_in_range(self):
+        """The original bug: NaN in the one-sided mask cast to int64
+        garbage and produced out-of-range codes."""
+        params = self._param_sets()["negative_only"]
+        qt = quantize_with_params(
+            np.array([np.nan, -0.5, np.nan]), params
+        )
+        assert abs(int(qt.codes.min())) <= 2 ** (params.bits - 1)
+        assert np.isfinite(qt.dequantize()).all()
+
+
 class TestQUQQuantizer:
     def test_unfitted_rejected(self):
         with pytest.raises(RuntimeError):
